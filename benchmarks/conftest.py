@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows/series (who wins, where the optima and
+crossovers fall), while pytest-benchmark times the underlying model
+evaluation.
+"""
+
+import pytest
+
+from repro.core.config import default_server
+from repro.utils.units import mhz
+
+
+@pytest.fixture(scope="session")
+def server_configuration():
+    """The paper's default FD-SOI server configuration."""
+    return default_server()
+
+
+@pytest.fixture(scope="session")
+def sweep_frequencies():
+    """A representative subset of the paper's 100MHz-2GHz sweep."""
+    return tuple(
+        mhz(value) for value in (100, 200, 300, 400, 500, 700, 900, 1100, 1300, 1600, 2000)
+    )

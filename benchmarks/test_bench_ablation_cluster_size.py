@@ -1,0 +1,63 @@
+"""Ablation (Section II-B): 4-core versus 16-core clusters.
+
+The paper models 4-core clusters for simulation speed and verifies the
+cluster size does not change the trends.  This benchmark compares the
+efficiency-optimum locations for the two organisations.
+"""
+
+from repro.core.config import default_server
+from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
+from repro.utils.tables import format_table
+from repro.workloads.cloudsuite import WEB_SEARCH
+
+
+def _build(frequencies):
+    small_clusters = default_server()
+    # The 16-core cluster shares one 4MB LLC (the paper's optimal ratio);
+    # fewer clusters fit the die, keeping the core count comparable.
+    large_clusters = default_server().with_cluster_organization(
+        cluster_count=3, cores_per_cluster=16
+    )
+    results = {}
+    for label, configuration in (
+        ("9 x 4-core clusters", small_clusters),
+        ("3 x 16-core clusters", large_clusters),
+    ):
+        analyzer = EfficiencyAnalyzer(configuration)
+        results[label] = {
+            scope.value: analyzer.optimal_frequency(
+                WEB_SEARCH, scope, frequencies
+            ).frequency_hz
+            for scope in EfficiencyScope
+        }
+    return results
+
+
+def test_bench_ablation_cluster_size(benchmark, sweep_frequencies):
+    results = benchmark(_build, sweep_frequencies)
+
+    print()
+    print("Cluster-size ablation: efficiency-optimum frequency per scope (Web Search)")
+    print(
+        format_table(
+            ("organisation", "opt cores (MHz)", "opt SoC (MHz)", "opt server (MHz)"),
+            [
+                (
+                    label,
+                    round(points["cores"] / 1e6),
+                    round(points["soc"] / 1e6),
+                    round(points["server"] / 1e6),
+                )
+                for label, points in results.items()
+            ],
+        )
+    )
+
+    small = results["9 x 4-core clusters"]
+    large = results["3 x 16-core clusters"]
+    # The trends (ordering of the optima across scopes) must be preserved.
+    assert small["cores"] <= small["soc"] <= small["server"]
+    assert large["cores"] <= large["soc"] <= large["server"]
+    # And the optima must not move by more than a couple of grid steps.
+    assert abs(small["soc"] - large["soc"]) <= 400e6
+    assert abs(small["server"] - large["server"]) <= 400e6

@@ -1,0 +1,59 @@
+"""Ablation (Section V-C): DDR4 versus LPDDR4-class memory background power.
+
+The discussion argues that mobile-DRAM-class background power would make
+the server more energy proportional; this benchmark quantifies the
+proportionality index and the shift of the server-level optimum.
+"""
+
+from repro.core.energy_proportionality import EnergyProportionalityAnalyzer
+from repro.utils.tables import format_table
+from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH
+
+
+def _build(configuration, frequencies):
+    analyzer = EnergyProportionalityAnalyzer(configuration)
+    results = {}
+    for workload in (DATA_SERVING, WEB_SEARCH):
+        results[workload.name] = analyzer.memory_technology_comparison(
+            workload, frequencies=frequencies
+        )
+    return results
+
+
+def test_bench_ablation_memory_technology(
+    benchmark, server_configuration, sweep_frequencies
+):
+    results = benchmark(_build, server_configuration, sweep_frequencies)
+
+    rows = []
+    for workload_name, comparison in results.items():
+        for chip_name, report in comparison.items():
+            rows.append(
+                (
+                    workload_name,
+                    chip_name,
+                    round(report.proportionality_index, 3),
+                    round(report.fixed_power_fraction_at_floor, 3),
+                    round(report.server_optimum_hz / 1e6),
+                )
+            )
+    print()
+    print("Memory technology ablation: energy proportionality and server optimum")
+    print(
+        format_table(
+            (
+                "workload",
+                "memory chip",
+                "proportionality",
+                "fixed power @floor",
+                "server optimum (MHz)",
+            ),
+            rows,
+        )
+    )
+
+    for comparison in results.values():
+        ddr4 = comparison["ddr4-4gbit-x8"]
+        lpddr4 = comparison["lpddr4-4gbit-x8"]
+        assert lpddr4.proportionality_index > ddr4.proportionality_index
+        assert lpddr4.server_optimum_hz <= ddr4.server_optimum_hz

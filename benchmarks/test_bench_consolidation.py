@@ -1,0 +1,61 @@
+"""Discussion (Section V-C): workload co-allocation in the public cloud.
+
+Quantifies how many banking VMs can share the near-threshold server under
+the relaxed 4x degradation bound and how much energy per unit of work the
+best consolidated plan saves versus running at the nominal frequency.
+"""
+
+from repro.core.consolidation import ConsolidationAnalyzer
+from repro.utils.tables import format_table
+from repro.utils.units import ghz
+from repro.workloads.banking_vm import virtualized_workloads
+
+
+def _build(configuration, frequencies):
+    analyzer = ConsolidationAnalyzer(configuration)
+    plans = {}
+    for name, workload in virtualized_workloads().items():
+        best = analyzer.best_plan(workload, frequencies)
+        naive = analyzer.plan(workload, ghz(2), vms_per_core=1)
+        plans[name] = (best, naive)
+    return plans
+
+
+def test_bench_consolidation(benchmark, server_configuration, sweep_frequencies):
+    plans = benchmark(_build, server_configuration, sweep_frequencies)
+
+    rows = []
+    for name, (best, naive) in plans.items():
+        saving = 1.0 - best.energy_per_giga_instructions / naive.energy_per_giga_instructions
+        rows.append(
+            (
+                name,
+                round(best.frequency_hz / 1e6),
+                best.vm_count,
+                f"{best.degradation:.2f}x",
+                round(best.energy_per_giga_instructions, 2),
+                round(naive.energy_per_giga_instructions, 2),
+                f"{saving:.0%}",
+            )
+        )
+    print()
+    print("Consolidation plans under the relaxed (4x) degradation bound")
+    print(
+        format_table(
+            (
+                "VM class",
+                "best f (MHz)",
+                "VMs",
+                "degradation",
+                "J/Ginstr (best)",
+                "J/Ginstr (2GHz, 1 VM/core)",
+                "energy saving",
+            ),
+            rows,
+        )
+    )
+
+    for best, naive in plans.values():
+        assert best.degradation <= 4.0 + 1e-9
+        assert best.vm_count >= 36
+        assert best.energy_per_giga_instructions <= naive.energy_per_giga_instructions

@@ -1,0 +1,57 @@
+"""Throughput benchmark of the detailed (trace-driven) cluster simulator.
+
+Not a paper figure: times the Flexus-substitute simulation path and
+cross-checks its UIPC against the analytical interval model used by the
+sweeps, documenting how far apart the two performance paths sit.
+"""
+
+from repro.core.config import default_server
+from repro.core.performance import ServerPerformanceModel
+from repro.sim.cluster import ClusterSimConfig, ClusterSimulator
+from repro.utils.tables import format_table
+from repro.utils.units import ghz
+from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH
+
+
+def _run_cluster(workload, frequency):
+    config = ClusterSimConfig(
+        workload=workload, frequency_hz=frequency, records_per_core=2000
+    )
+    return ClusterSimulator(config).run()
+
+
+def test_bench_detailed_cluster_simulation(benchmark):
+    result = benchmark(_run_cluster, DATA_SERVING, ghz(1))
+
+    analytical = ServerPerformanceModel(default_server())
+    rows = []
+    for workload in (DATA_SERVING, WEB_SEARCH):
+        detailed = _run_cluster(workload, ghz(1))
+        interval = analytical.performance(workload, ghz(1))
+        rows.append(
+            (
+                workload.name,
+                round(detailed.uipc / 4.0, 3),
+                round(interval.uipc, 3),
+                round(detailed.average_memory_latency_ns, 1),
+                round(detailed.read_bandwidth / 1e9, 2),
+            )
+        )
+    print()
+    print("Detailed simulator vs interval model at 1GHz")
+    print(
+        format_table(
+            (
+                "workload",
+                "detailed per-core UIPC",
+                "interval UIPC",
+                "avg DRAM latency (ns)",
+                "cluster read BW (GB/s)",
+            ),
+            rows,
+        )
+    )
+
+    assert result.uipc > 0
+    for __, detailed_uipc, interval_uipc, __, __ in rows:
+        assert 0.3 <= detailed_uipc / interval_uipc <= 3.0

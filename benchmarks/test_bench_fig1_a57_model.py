@@ -1,0 +1,56 @@
+"""Figure 1: A57 voltage and power versus frequency per technology flavour.
+
+Regenerates the paper's Figure 1 series -- Vdd(f) and 36-core chip
+power(f) for bulk 28nm, FD-SOI and FD-SOI with forward body bias -- and
+prints them as a table.
+"""
+
+from repro.analysis.figures import figure1_series
+from repro.utils.tables import format_table
+from repro.utils.units import mhz
+
+
+def _build_series():
+    frequencies = [mhz(value) for value in range(100, 3501, 200)]
+    return figure1_series(frequencies_hz=frequencies)
+
+
+def test_bench_figure1_series(benchmark):
+    series = benchmark(_build_series)
+
+    rows = []
+    flavours = list(series)
+    frequencies = series["fdsoi"]["vdd"].x_values
+    for index, frequency in enumerate(frequencies):
+        row = [f"{frequency:.0f}"]
+        for flavour in flavours:
+            xs = series[flavour]["vdd"].x_values
+            if frequency in xs:
+                position = xs.index(frequency)
+                row.append(f"{series[flavour]['vdd'].y_values[position]:.2f}")
+                row.append(f"{series[flavour]['power'].y_values[position]:.1f}")
+            else:
+                row.append("-")
+                row.append("-")
+        rows.append(row)
+
+    headers = ["f (MHz)"]
+    for flavour in flavours:
+        headers.extend([f"{flavour} Vdd (V)", f"{flavour} P (W)"])
+    print()
+    print("Figure 1: A57 performance and power model (36-core chip)")
+    print(format_table(headers, rows))
+
+    # Shape checks matching the paper's reading of the figure: at the
+    # same (2.1GHz) frequency FD-SOI burns less power than bulk, and the
+    # FD-SOI flavours reach the near-threshold frequencies bulk cannot.
+    common = 2100.0
+    bulk_power = series["bulk"]["power"].y_values[
+        series["bulk"]["power"].x_values.index(common)
+    ]
+    fdsoi_power = series["fdsoi"]["power"].y_values[
+        series["fdsoi"]["power"].x_values.index(common)
+    ]
+    assert bulk_power > fdsoi_power
+    assert min(series["fdsoi"]["vdd"].x_values) <= 200.0
+    assert min(series["fdsoi-fbb"]["vdd"].x_values) <= 200.0

@@ -1,0 +1,46 @@
+"""Figure 2: 99th-percentile latency normalised to QoS versus core frequency."""
+
+from repro.analysis.figures import figure2_series
+from repro.core.qos import QosAnalyzer
+from repro.utils.tables import format_table
+from repro.workloads.cloudsuite import scale_out_workloads
+
+
+def _build(configuration, frequencies):
+    series = figure2_series(configuration, frequencies)
+    analyzer = QosAnalyzer(configuration)
+    floors = {
+        name: analyzer.qos_frequency_floor(workload, frequencies)
+        for name, workload in scale_out_workloads().items()
+    }
+    return series, floors
+
+
+def test_bench_figure2_qos_latency(benchmark, server_configuration, sweep_frequencies):
+    series, floors = benchmark(_build, server_configuration, sweep_frequencies)
+
+    names = list(series)
+    frequencies = series[names[0]].x_values
+    rows = []
+    for index, frequency in enumerate(frequencies):
+        row = [f"{frequency:.1f}"]
+        row.extend(f"{series[name].y_values[index]:.2f}" for name in names)
+        rows.append(row)
+
+    print()
+    print("Figure 2: 99th-percentile latency normalised to the QoS limit")
+    print(format_table(["f (GHz)"] + names, rows))
+    print()
+    print(
+        format_table(
+            ("workload", "QoS floor (MHz)"),
+            [(name, round(floor / 1e6)) for name, floor in floors.items()],
+        )
+    )
+
+    # Paper result: every scale-out app can run at 200-500MHz within QoS.
+    for floor in floors.values():
+        assert 100e6 <= floor <= 500e6
+    # Latency normalised to QoS is below 1.0 at the nominal frequency.
+    for name in names:
+        assert series[name].y_values[-1] < 1.0

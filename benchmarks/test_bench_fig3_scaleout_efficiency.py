@@ -1,0 +1,67 @@
+"""Figure 3: UIPS/Watt of the cores, SoC and server for scale-out workloads.
+
+Reproduces the headline shape result: the cores-only optimum sits at the
+lowest functional frequency, the SoC optimum moves to ~1GHz and the
+server optimum to ~1-1.2GHz.
+"""
+
+from repro.analysis.figures import figure3_series
+from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
+from repro.utils.tables import format_table
+from repro.workloads.cloudsuite import scale_out_workloads
+
+
+def _build(configuration, frequencies):
+    series = {
+        scope: figure3_series(scope, configuration, frequencies)
+        for scope in EfficiencyScope
+    }
+    analyzer = EfficiencyAnalyzer(configuration)
+    optima = {
+        name: {
+            scope.value: analyzer.optimal_frequency(workload, scope, frequencies).frequency_hz
+            for scope in EfficiencyScope
+        }
+        for name, workload in scale_out_workloads().items()
+    }
+    return series, optima
+
+
+def test_bench_figure3_scaleout_efficiency(
+    benchmark, server_configuration, sweep_frequencies
+):
+    series, optima = benchmark(_build, server_configuration, sweep_frequencies)
+
+    for scope in EfficiencyScope:
+        scope_series = series[scope]
+        names = list(scope_series)
+        frequencies = scope_series[names[0]].x_values
+        rows = []
+        for index, frequency in enumerate(frequencies):
+            row = [f"{frequency:.1f}"]
+            row.extend(f"{scope_series[name].y_values[index]:.3f}" for name in names)
+            rows.append(row)
+        print()
+        print(f"Figure 3 ({scope.value}): efficiency in GUIPS/W vs core frequency (GHz)")
+        print(format_table(["f (GHz)"] + names, rows))
+
+    print()
+    print(
+        format_table(
+            ("workload", "opt cores (MHz)", "opt SoC (MHz)", "opt server (MHz)"),
+            [
+                (
+                    name,
+                    round(points["cores"] / 1e6),
+                    round(points["soc"] / 1e6),
+                    round(points["server"] / 1e6),
+                )
+                for name, points in optima.items()
+            ],
+        )
+    )
+
+    for points in optima.values():
+        assert points["cores"] <= 300e6
+        assert 600e6 <= points["soc"] <= 1400e6
+        assert points["server"] >= points["soc"]

@@ -1,0 +1,40 @@
+"""Table I: DDR4 chip energies and the derived memory-subsystem power."""
+
+from repro.analysis.tables import memory_power_summary, table1_rows
+from repro.utils.tables import format_table
+
+
+def _build_table():
+    return table1_rows(), memory_power_summary()
+
+
+def test_bench_table1_ddr4_energy(benchmark):
+    rows, summary = benchmark(_build_table)
+
+    print()
+    print("Table I: Power of an 8x 4Gbit DDR4 chip at 1.6GHz")
+    print(
+        format_table(
+            ("chip", "E_IDLE (nJ/cycle)", "E_READ (nJ/byte)", "E_WRITE (nJ/byte)"),
+            [
+                (
+                    row["chip"],
+                    row["E_IDLE (nJ/cycle)"],
+                    row["E_READ (nJ/byte)"],
+                    row["E_WRITE (nJ/byte)"],
+                )
+                for row in rows
+            ],
+        )
+    )
+    print()
+    print("Derived 64GB / 4-channel memory subsystem power (10GB/s read, 3GB/s write):")
+    print(
+        format_table(
+            tuple(summary.keys()),
+            [tuple(summary.values())],
+        )
+    )
+
+    assert rows[0]["E_IDLE (nJ/cycle)"] == 0.0728
+    assert 10.0 < summary["background_power_w"] < 20.0

@@ -1,0 +1,37 @@
+"""Quickstart: explore the near-threshold server for one workload.
+
+Builds the paper's default 36-core FD-SOI server, sweeps the core
+frequency for the Web Search workload, and prints the operating-point
+table, the QoS floor and the efficiency optima at the three scopes.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import DesignSpaceExplorer, default_server, render_operating_points
+from repro.utils.units import mhz, to_mhz
+from repro.workloads import WEB_SEARCH
+
+
+def main() -> None:
+    configuration = default_server()
+    explorer = DesignSpaceExplorer(configuration)
+
+    frequencies = [mhz(value) for value in (200, 300, 500, 800, 1000, 1200, 1600, 2000)]
+    records = explorer.explore([WEB_SEARCH], frequencies)
+    print("Operating points for Web Search on the FD-SOI near-threshold server")
+    print(render_operating_points(records))
+    print()
+
+    summary = explorer.summarize(WEB_SEARCH, frequencies)
+    print(f"QoS floor:                 {to_mhz(summary.qos_floor_hz):.0f} MHz")
+    for scope, frequency in summary.optimal_frequency_by_scope.items():
+        print(f"Efficiency optimum ({scope:6s}): {to_mhz(frequency):.0f} MHz")
+    print(
+        "Best QoS-respecting point: "
+        f"{to_mhz(summary.best_qos_respecting_frequency):.0f} MHz "
+        f"({summary.best_qos_respecting_efficiency / 1e9:.2f} GUIPS/W at server scope)"
+    )
+
+
+if __name__ == "__main__":
+    main()

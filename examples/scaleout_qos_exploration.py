@@ -1,0 +1,68 @@
+"""Scale-out cloud scenario: QoS-constrained near-threshold operation.
+
+Reproduces the private-cloud part of the study for all four CloudSuite
+workloads: the latency-versus-frequency curves normalised to each QoS
+limit (Figure 2), the QoS frequency floors, and the efficiency curves at
+the cores / SoC / server scopes (Figure 3), ending with the operating
+point a QoS-aware DVFS governor should pick.
+
+Run with:  python examples/scaleout_qos_exploration.py
+"""
+
+from repro.core import (
+    DesignSpaceExplorer,
+    EfficiencyAnalyzer,
+    EfficiencyScope,
+    QosAnalyzer,
+    default_server,
+    render_summary,
+)
+from repro.utils.tables import format_table
+from repro.utils.units import to_mhz
+from repro.workloads import scale_out_workloads
+
+
+def print_latency_curves(analyzer: QosAnalyzer) -> None:
+    print("99th-percentile latency normalised to the QoS limit (Figure 2)")
+    for name, workload in scale_out_workloads().items():
+        result = analyzer.latency_curve(workload)
+        rows = [
+            (f"{point.frequency_hz / 1e6:.0f}", f"{point.normalized_to_qos:.2f}",
+             "ok" if point.meets_qos else "violated")
+            for point in result.points
+        ]
+        print(f"\n{name} (QoS floor {to_mhz(result.qos_floor_hz):.0f} MHz)")
+        print(format_table(("f (MHz)", "latency / QoS", "status"), rows))
+
+
+def print_efficiency_optima(analyzer: EfficiencyAnalyzer) -> None:
+    print("\nEfficiency optima per scope (Figure 3)")
+    rows = []
+    for name, workload in scale_out_workloads().items():
+        optima = analyzer.optimal_frequencies_all_scopes(workload)
+        rows.append(
+            (
+                name,
+                f"{to_mhz(optima['cores'].frequency_hz):.0f}",
+                f"{to_mhz(optima['soc'].frequency_hz):.0f}",
+                f"{to_mhz(optima['server'].frequency_hz):.0f}",
+            )
+        )
+    print(format_table(("workload", "cores (MHz)", "SoC (MHz)", "server (MHz)"), rows))
+
+
+def main() -> None:
+    configuration = default_server()
+    qos_analyzer = QosAnalyzer(configuration)
+    efficiency_analyzer = EfficiencyAnalyzer(configuration)
+    explorer = DesignSpaceExplorer(configuration)
+
+    print_latency_curves(qos_analyzer)
+    print_efficiency_optima(efficiency_analyzer)
+
+    print("\nSweep summary (QoS floors and best QoS-respecting operating points)")
+    print(render_summary(explorer.summarize_all(scale_out_workloads().values())))
+
+
+if __name__ == "__main__":
+    main()

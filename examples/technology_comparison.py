@@ -1,0 +1,78 @@
+"""Technology comparison: bulk vs FD-SOI vs FD-SOI + forward body bias.
+
+Reproduces the Figure 1 comparison and the body-bias knobs of
+Section II-A: the supply voltage and chip core power needed at each
+frequency per flavour, the near-threshold frequencies reachable at 0.5V,
+and the state-retentive sleep-mode leakage reduction offered by reverse
+body bias.
+
+Run with:  python examples/technology_comparison.py
+"""
+
+from repro.analysis.figures import figure1_series
+from repro.technology import (
+    BodyBiasModel,
+    LeakageModel,
+    FDSOI_28NM,
+    default_flavour_models,
+)
+from repro.utils.tables import format_table
+from repro.utils.units import mhz
+
+
+def main() -> None:
+    frequencies = [mhz(value) for value in (200, 500, 1000, 1500, 2000, 2500, 3000, 3500)]
+    series = figure1_series(frequencies_hz=frequencies)
+
+    print("Figure 1: supply voltage and 36-core power per technology flavour")
+    rows = []
+    for frequency in frequencies:
+        row = [f"{frequency / 1e6:.0f}"]
+        for flavour in ("bulk", "fdsoi", "fdsoi-fbb"):
+            xs = series[flavour]["vdd"].x_values
+            if frequency / 1e6 in xs:
+                index = xs.index(frequency / 1e6)
+                row.append(f"{series[flavour]['vdd'].y_values[index]:.2f}V")
+                row.append(f"{series[flavour]['power'].y_values[index]:.0f}W")
+            else:
+                row.append("-")
+                row.append("-")
+        rows.append(row)
+    print(
+        format_table(
+            (
+                "f (MHz)",
+                "bulk Vdd", "bulk P",
+                "fdsoi Vdd", "fdsoi P",
+                "fbb Vdd", "fbb P",
+            ),
+            rows,
+        )
+    )
+
+    print("\nNear-threshold reach at the minimum functional voltage")
+    rows = []
+    for label, model in default_flavour_models().items():
+        rows.append(
+            (
+                label,
+                f"{model.technology.min_functional_vdd:.2f}V",
+                f"{model.min_voltage_frequency() / 1e6:.0f} MHz",
+            )
+        )
+    print(format_table(("flavour", "min Vdd", "max f at min Vdd"), rows))
+
+    print("\nBody-bias knobs (UTBB FD-SOI)")
+    bias = BodyBiasModel(FDSOI_28NM)
+    leakage = LeakageModel(FDSOI_28NM)
+    print(f"  Vth shift per volt of bias:      {FDSOI_28NM.body_effect_coefficient * 1000:.0f} mV/V")
+    print(f"  5mm^2 core 0V->1.3V bias switch: {bias.transition_time(5.0, 1.3) * 1e6:.2f} us")
+    print(
+        "  RBB sleep leakage at 0.8V:       "
+        f"{leakage.sleep_power(0.8, bias.sleep_leakage_fraction()) * 1000:.1f} mW "
+        f"(active {leakage.power(0.8) * 1000:.1f} mW)"
+    )
+
+
+if __name__ == "__main__":
+    main()

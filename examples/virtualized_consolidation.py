@@ -1,0 +1,86 @@
+"""Public-cloud scenario: virtualized banking VMs and consolidation.
+
+Reproduces the virtualized-application part of the study: the Bitbrains
+derived VM classes, their execution-time degradation versus frequency
+(Section V-A), the efficiency curves of Figure 4, and the co-allocation
+analysis the discussion section proposes -- how many VMs fit on the
+near-threshold server under the relaxed 4x degradation bound and how
+much energy per unit of work that saves.
+
+Run with:  python examples/virtualized_consolidation.py
+"""
+
+from repro.core import (
+    ConsolidationAnalyzer,
+    EfficiencyAnalyzer,
+    EfficiencyScope,
+    QosAnalyzer,
+    default_server,
+)
+from repro.utils.tables import format_table
+from repro.utils.units import ghz, to_mhz
+from repro.workloads import BitbrainsTraceModel, virtualized_workloads
+
+
+def main() -> None:
+    configuration = default_server()
+
+    print("Bitbrains-derived VM memory provisioning classes")
+    classes = BitbrainsTraceModel().representative_classes()
+    print(
+        format_table(
+            ("class", "provisioning (MB)"),
+            [(name, round(value / 2**20)) for name, value in classes.items()],
+        )
+    )
+
+    qos = QosAnalyzer(configuration)
+    print("\nExecution-time degradation floors (Section V-A)")
+    rows = []
+    for name, workload in virtualized_workloads().items():
+        curve = qos.degradation_curve(workload)
+        rows.append(
+            (
+                name,
+                f"{to_mhz(curve.floor_strict_hz):.0f}",
+                f"{to_mhz(curve.floor_relaxed_hz):.0f}",
+            )
+        )
+    print(format_table(("VM class", "floor @2x (MHz)", "floor @4x (MHz)"), rows))
+
+    efficiency = EfficiencyAnalyzer(configuration)
+    print("\nServer-scope efficiency optima (Figure 4c)")
+    rows = []
+    for name, workload in virtualized_workloads().items():
+        optimum = efficiency.optimal_frequency(workload, EfficiencyScope.SERVER)
+        rows.append((name, f"{to_mhz(optimum.frequency_hz):.0f}",
+                     f"{optimum.efficiency_guips_per_watt:.2f}"))
+    print(format_table(("VM class", "optimum (MHz)", "GUIPS/W"), rows))
+
+    consolidation = ConsolidationAnalyzer(configuration)
+    print("\nConsolidation under the relaxed (4x) degradation bound")
+    rows = []
+    for name, workload in virtualized_workloads().items():
+        best = consolidation.best_plan(workload)
+        naive = consolidation.plan(workload, ghz(2), vms_per_core=1)
+        saving = 1.0 - best.energy_per_giga_instructions / naive.energy_per_giga_instructions
+        rows.append(
+            (
+                name,
+                f"{to_mhz(best.frequency_hz):.0f}",
+                best.vm_count,
+                f"{best.degradation:.2f}x",
+                f"{best.energy_per_giga_instructions:.2f}",
+                f"{saving:.0%}",
+            )
+        )
+    print(
+        format_table(
+            ("VM class", "f (MHz)", "VMs", "degradation", "J / 10^9 instr", "saving vs 2GHz"),
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

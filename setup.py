@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This shim
+exists so the package can be installed in editable mode on offline
+machines that lack the ``wheel`` package required by PEP 660 editable
+installs (``python setup.py develop`` as a fallback for
+``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

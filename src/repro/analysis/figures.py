@@ -1,0 +1,133 @@
+"""Data series behind the paper's figures.
+
+Every function returns plain data (frequencies plus one or more named
+series) so the benchmark harnesses can print the same rows/series the
+paper plots, and tests can assert on the shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.config import ServerConfiguration, default_server
+from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
+from repro.core.qos import QosAnalyzer
+from repro.technology.a57_model import default_flavour_models
+from repro.utils.units import mhz
+from repro.workloads.banking_vm import virtualized_workloads
+from repro.workloads.cloudsuite import scale_out_workloads
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One named (x, y) series of a figure."""
+
+    label: str
+    x_values: tuple
+    y_values: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.x_values) != len(self.y_values):
+            raise ValueError("x and y series must have the same length")
+
+    def as_rows(self) -> List[tuple]:
+        """(x, y) pairs for table rendering."""
+        return list(zip(self.x_values, self.y_values))
+
+
+# -- Figure 1 ------------------------------------------------------------------------
+
+
+def figure1_series(
+    frequencies_hz: Sequence[float] | None = None,
+    core_count: int = 36,
+) -> Dict[str, Dict[str, FigureSeries]]:
+    """Voltage and chip core power versus frequency per technology flavour.
+
+    Returns ``{flavour: {"vdd": series, "power": series}}`` with
+    frequencies in MHz on the x axis, matching the paper's Figure 1.
+    Frequencies a flavour cannot reach are skipped for that flavour.
+    """
+    if frequencies_hz is None:
+        frequencies_hz = [mhz(value) for value in range(100, 3501, 100)]
+    result: Dict[str, Dict[str, FigureSeries]] = {}
+    for label, model in default_flavour_models().items():
+        xs, vdds, powers = [], [], []
+        for frequency in frequencies_hz:
+            if not model.is_reachable(frequency):
+                continue
+            operating_point = model.operating_point(frequency)
+            xs.append(frequency / 1e6)
+            vdds.append(operating_point.vdd)
+            powers.append(operating_point.total_power * core_count)
+        result[label] = {
+            "vdd": FigureSeries(f"{label} Vdd", tuple(xs), tuple(vdds)),
+            "power": FigureSeries(f"{label} Power", tuple(xs), tuple(powers)),
+        }
+    return result
+
+
+# -- Figure 2 ------------------------------------------------------------------------
+
+
+def figure2_series(
+    configuration: ServerConfiguration | None = None,
+    frequencies_hz: Sequence[float] | None = None,
+) -> Dict[str, FigureSeries]:
+    """99th-percentile latency normalised to QoS versus core frequency."""
+    configuration = configuration or default_server()
+    analyzer = QosAnalyzer(configuration)
+    series = {}
+    for name, workload in scale_out_workloads().items():
+        result = analyzer.latency_curve(workload, frequencies_hz)
+        xs = tuple(point.frequency_hz / 1e9 for point in result.points)
+        ys = tuple(point.normalized_to_qos for point in result.points)
+        series[name] = FigureSeries(name, xs, ys)
+    return series
+
+
+# -- Figures 3 and 4 --------------------------------------------------------------------
+
+
+def _efficiency_series(
+    workloads: Dict[str, object],
+    scope: EfficiencyScope,
+    configuration: ServerConfiguration,
+    frequencies_hz: Sequence[float] | None,
+) -> Dict[str, FigureSeries]:
+    analyzer = EfficiencyAnalyzer(configuration)
+    series = {}
+    for name, workload in workloads.items():
+        points = analyzer.curve(workload, scope, frequencies_hz)
+        xs = tuple(point.frequency_hz / 1e9 for point in points)
+        ys = tuple(point.efficiency_guips_per_watt for point in points)
+        series[name] = FigureSeries(name, xs, ys)
+    return series
+
+
+def figure3_series(
+    scope: EfficiencyScope,
+    configuration: ServerConfiguration | None = None,
+    frequencies_hz: Sequence[float] | None = None,
+) -> Dict[str, FigureSeries]:
+    """Efficiency (GUIPS/W) versus frequency for the scale-out workloads.
+
+    ``scope`` selects sub-figure (a) cores, (b) SoC or (c) server.
+    """
+    configuration = configuration or default_server()
+    return _efficiency_series(
+        scale_out_workloads(), scope, configuration, frequencies_hz
+    )
+
+
+def figure4_series(
+    scope: EfficiencyScope,
+    configuration: ServerConfiguration | None = None,
+    frequencies_hz: Sequence[float] | None = None,
+) -> Dict[str, FigureSeries]:
+    """Efficiency (GUIPS/W) versus frequency for the virtualized workloads."""
+    configuration = configuration or default_server()
+    return _efficiency_series(
+        virtualized_workloads(), scope, configuration, frequencies_hz
+    )

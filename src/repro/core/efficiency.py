@@ -1,0 +1,176 @@
+"""Energy-efficiency analysis at the cores / SoC / server scopes.
+
+Efficiency is the paper's central metric: UIPS divided by the power of
+the scope under consideration (Figures 3 and 4).
+
+* **cores** scope -- only the A57 cores' power; because dynamic power
+  falls roughly cubically with frequency while throughput falls at most
+  linearly, efficiency rises monotonically as frequency drops until the
+  minimum functional voltage is reached.
+* **SoC** scope -- adds the fixed-voltage-domain uncore (LLCs, crossbars,
+  peripherals); the constant floor pushes the optimum to ~1GHz.
+* **server** scope -- adds the DRAM subsystem, whose background power is
+  constant; the optimum moves further up, to ~1-1.2GHz.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.core.config import ServerConfiguration
+from repro.core.performance import ServerPerformanceModel
+from repro.workloads.base import WorkloadCharacteristics
+
+
+class EfficiencyScope(enum.Enum):
+    """Power scope over which UIPS/Watt is computed."""
+
+    CORES = "cores"
+    SOC = "soc"
+    SERVER = "server"
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """Efficiency of one workload at one operating point and scope."""
+
+    workload_name: str
+    frequency_hz: float
+    scope: EfficiencyScope
+    chip_uips: float
+    power_watts: float
+
+    @property
+    def efficiency(self) -> float:
+        """UIPS per watt."""
+        if self.power_watts <= 0.0:
+            return 0.0
+        return self.chip_uips / self.power_watts
+
+    @property
+    def efficiency_guips_per_watt(self) -> float:
+        """Efficiency in units of 10^9 user instructions per second per watt."""
+        return self.efficiency / 1.0e9
+
+
+@dataclass(frozen=True)
+class EfficiencyAnalyzer:
+    """Computes UIPS/Watt curves and optima for any workload and scope."""
+
+    configuration: ServerConfiguration = field(default_factory=ServerConfiguration)
+
+    @property
+    def performance_model(self) -> ServerPerformanceModel:
+        """The analytical performance model for this configuration."""
+        return ServerPerformanceModel(self.configuration)
+
+    # -- single points ----------------------------------------------------------------
+
+    def power(
+        self,
+        workload: WorkloadCharacteristics,
+        frequency_hz: float,
+        scope: EfficiencyScope,
+    ) -> float:
+        """Power in watts of ``scope`` at the given operating point."""
+        performance = self.performance_model
+        llc_rate = performance.llc_accesses_per_second_per_cluster(
+            workload, frequency_hz
+        )
+        crossbar_bytes = performance.crossbar_bytes_per_second_per_cluster(
+            workload, frequency_hz
+        )
+        if scope is EfficiencyScope.CORES:
+            return self.configuration.soc_power_model().core_power(
+                frequency_hz, workload.activity_factor
+            )
+        if scope is EfficiencyScope.SOC:
+            return self.configuration.soc_power_model().total_power(
+                frequency_hz,
+                workload.activity_factor,
+                llc_accesses_per_second=llc_rate,
+                crossbar_bytes_per_second=crossbar_bytes,
+            )
+        return self.configuration.server_power_model().total_power(
+            frequency_hz,
+            workload.activity_factor,
+            memory_read_bandwidth=performance.memory_read_bandwidth(
+                workload, frequency_hz
+            ),
+            memory_write_bandwidth=performance.memory_write_bandwidth(
+                workload, frequency_hz
+            ),
+            llc_accesses_per_second=llc_rate,
+            crossbar_bytes_per_second=crossbar_bytes,
+        )
+
+    def efficiency(
+        self,
+        workload: WorkloadCharacteristics,
+        frequency_hz: float,
+        scope: EfficiencyScope,
+    ) -> EfficiencyPoint:
+        """Efficiency point of ``workload`` at ``frequency_hz`` and ``scope``."""
+        point = self.performance_model.performance(workload, frequency_hz)
+        power = self.power(workload, frequency_hz, scope)
+        return EfficiencyPoint(
+            workload_name=workload.name,
+            frequency_hz=frequency_hz,
+            scope=scope,
+            chip_uips=point.chip_uips,
+            power_watts=power,
+        )
+
+    # -- curves and optima --------------------------------------------------------------
+
+    def curve(
+        self,
+        workload: WorkloadCharacteristics,
+        scope: EfficiencyScope,
+        frequencies: Sequence[float] | None = None,
+    ) -> List[EfficiencyPoint]:
+        """Efficiency versus frequency over the configuration's grid."""
+        grid = frequencies if frequencies is not None else self.configuration.frequency_grid
+        points = []
+        for frequency in grid:
+            if not self._reachable(frequency):
+                continue
+            points.append(self.efficiency(workload, frequency, scope))
+        return points
+
+    def optimal_frequency(
+        self,
+        workload: WorkloadCharacteristics,
+        scope: EfficiencyScope,
+        frequencies: Sequence[float] | None = None,
+    ) -> EfficiencyPoint:
+        """Operating point with the highest UIPS/Watt for the scope."""
+        points = self.curve(workload, scope, frequencies)
+        if not points:
+            raise ValueError("no reachable frequency in the sweep grid")
+        return max(points, key=lambda point: point.efficiency)
+
+    def optimal_frequencies_all_scopes(
+        self,
+        workload: WorkloadCharacteristics,
+        frequencies: Sequence[float] | None = None,
+    ) -> dict:
+        """Optimum operating point per scope, keyed by scope value."""
+        return {
+            scope.value: self.optimal_frequency(workload, scope, frequencies)
+            for scope in EfficiencyScope
+        }
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    def _reachable(self, frequency_hz: float) -> bool:
+        return self.configuration.core_power_model().is_reachable(frequency_hz)
+
+    def reachable_frequencies(
+        self, frequencies: Iterable[float] | None = None
+    ) -> List[float]:
+        """The subset of the grid this technology flavour can reach."""
+        grid = frequencies if frequencies is not None else self.configuration.frequency_grid
+        return [frequency for frequency in grid if self._reachable(frequency)]

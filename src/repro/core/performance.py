@@ -1,0 +1,129 @@
+"""Server performance model: (workload, frequency) -> throughput and traffic.
+
+This is the fast analytical path used by the design sweeps: the interval
+core model gives the per-core UIPC at a core frequency, and the workload
+characterisation converts the resulting instruction throughput into LLC
+and DRAM traffic, which the power models and the crossbar contention
+model consume.  The detailed trace-driven path (:mod:`repro.sim`)
+produces the same quantities for calibration and validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ServerConfiguration
+from repro.uarch.core_model import CpiStack
+from repro.utils.validation import check_positive
+from repro.workloads.base import WorkloadCharacteristics
+
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class PerformancePoint:
+    """Throughput and traffic of the server at one operating point."""
+
+    workload_name: str
+    frequency_hz: float
+    cpi_stack: CpiStack
+    core_count: int
+
+    @property
+    def uipc(self) -> float:
+        """Per-core user instructions per cycle."""
+        return self.cpi_stack.uipc
+
+    @property
+    def core_uips(self) -> float:
+        """Per-core user instructions per second."""
+        return self.uipc * self.frequency_hz
+
+    @property
+    def chip_uips(self) -> float:
+        """Chip-level (all cores) user instructions per second."""
+        return self.core_uips * self.core_count
+
+
+@dataclass(frozen=True)
+class ServerPerformanceModel:
+    """Maps workloads and frequencies to throughput and memory traffic."""
+
+    configuration: ServerConfiguration = field(default_factory=ServerConfiguration)
+
+    def performance(
+        self, workload: WorkloadCharacteristics, frequency_hz: float
+    ) -> PerformancePoint:
+        """Throughput of the server running ``workload`` at ``frequency_hz``."""
+        check_positive("frequency_hz", frequency_hz)
+        core_model = self.configuration.core_performance_model()
+        stack = core_model.cpi_stack(
+            frequency_hz,
+            base_cpi=workload.base_cpi,
+            branch_fraction=workload.branch_fraction,
+            branch_predictability=workload.branch_predictability,
+            l1_mpki=workload.l1_mpki,
+            llc_mpki=workload.llc_mpki,
+            memory_level_parallelism=workload.memory_level_parallelism,
+            uncore=self.configuration.uncore_latencies,
+        )
+        return PerformancePoint(
+            workload_name=workload.name,
+            frequency_hz=frequency_hz,
+            cpi_stack=stack,
+            core_count=self.configuration.core_count,
+        )
+
+    # -- traffic ---------------------------------------------------------------------
+
+    def memory_read_bandwidth(
+        self, workload: WorkloadCharacteristics, frequency_hz: float
+    ) -> float:
+        """Chip-level DRAM read bandwidth in bytes/second."""
+        point = self.performance(workload, frequency_hz)
+        fills_per_instruction = workload.llc_mpki / 1000.0
+        return fills_per_instruction * point.chip_uips * LINE_BYTES
+
+    def memory_write_bandwidth(
+        self, workload: WorkloadCharacteristics, frequency_hz: float
+    ) -> float:
+        """Chip-level DRAM write bandwidth in bytes/second."""
+        return (
+            self.memory_read_bandwidth(workload, frequency_hz)
+            * workload.write_fraction
+        )
+
+    def llc_accesses_per_second_per_cluster(
+        self, workload: WorkloadCharacteristics, frequency_hz: float
+    ) -> float:
+        """LLC access rate of one cluster (for the LLC dynamic power term)."""
+        point = self.performance(workload, frequency_hz)
+        cluster_uips = point.core_uips * self.configuration.cores_per_cluster
+        return workload.l1_mpki / 1000.0 * cluster_uips
+
+    def crossbar_bytes_per_second_per_cluster(
+        self, workload: WorkloadCharacteristics, frequency_hz: float
+    ) -> float:
+        """Crossbar traffic of one cluster in bytes/second."""
+        return (
+            self.llc_accesses_per_second_per_cluster(workload, frequency_hz)
+            * LINE_BYTES
+        )
+
+    # -- convenience ------------------------------------------------------------------
+
+    def nominal_performance(
+        self, workload: WorkloadCharacteristics
+    ) -> PerformancePoint:
+        """Performance at the configuration's nominal (2GHz) frequency."""
+        return self.performance(
+            workload, self.configuration.nominal_frequency_hz
+        )
+
+    def throughput_ratio_to_nominal(
+        self, workload: WorkloadCharacteristics, frequency_hz: float
+    ) -> float:
+        """UIPS(nominal) / UIPS(frequency): the latency/degradation scale factor."""
+        nominal = self.nominal_performance(workload)
+        point = self.performance(workload, frequency_hz)
+        return nominal.core_uips / point.core_uips

@@ -1,0 +1,42 @@
+"""DDR4 memory-system timing simulator (DRAMSim2 substitute).
+
+The paper integrates DRAMSim2 into Flexus and configures it from the
+Micron DDR4 datasheet.  This package provides the equivalent substrate:
+
+* :mod:`repro.dram.timing` -- DDR4-1600 timing parameters (Micron 4Gbit).
+* :mod:`repro.dram.commands` -- DRAM command and request vocabulary.
+* :mod:`repro.dram.address_map` -- physical-address to channel / rank /
+  bank-group / bank / row / column decomposition.
+* :mod:`repro.dram.bank` -- per-bank state machine enforcing the timing
+  constraints between ACTIVATE / READ / WRITE / PRECHARGE.
+* :mod:`repro.dram.controller` -- per-channel FR-FCFS memory controller.
+* :mod:`repro.dram.system` -- multi-channel memory system facade.
+* :mod:`repro.dram.power_counters` -- converts command/traffic counters
+  into energy with the Table I chip profiles.
+"""
+
+from repro.dram.timing import DDR4Timing, DDR4_1600_4GBIT
+from repro.dram.commands import DramCommand, MemoryRequest, RequestType
+from repro.dram.address_map import AddressMapping, DecodedAddress
+from repro.dram.bank import Bank, BankState
+from repro.dram.controller import ChannelController, ControllerStats
+from repro.dram.system import MemorySystem, MemorySystemStats
+from repro.dram.power_counters import DramEnergyAccountant, DramEnergyReport
+
+__all__ = [
+    "DDR4Timing",
+    "DDR4_1600_4GBIT",
+    "DramCommand",
+    "MemoryRequest",
+    "RequestType",
+    "AddressMapping",
+    "DecodedAddress",
+    "Bank",
+    "BankState",
+    "ChannelController",
+    "ControllerStats",
+    "MemorySystem",
+    "MemorySystemStats",
+    "DramEnergyAccountant",
+    "DramEnergyReport",
+]

@@ -1,0 +1,114 @@
+"""Physical-address interleaving for the DDR4 memory system.
+
+The decomposition follows the common row : rank : bank-group : bank :
+column : channel : offset order (channel bits lowest above the line
+offset), which interleaves consecutive cache lines across channels and
+banks -- the configuration DRAMSim2 uses for high-bandwidth scale-out
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+def _bit_width(count: int) -> int:
+    """Number of bits needed to index ``count`` entries (count must be a power of two)."""
+    if count <= 0 or count & (count - 1):
+        raise ValueError(f"count must be a positive power of two, got {count}")
+    return count.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """A physical address decomposed into DRAM coordinates."""
+
+    channel: int
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Address interleaving across channels, ranks, bank groups and banks.
+
+    Parameters
+    ----------
+    channels, ranks, bank_groups, banks_per_group:
+        Topology counts; all must be powers of two.
+    line_bytes:
+        Cache-line (and minimum access) size in bytes.
+    row_bytes:
+        Row-buffer size in bytes per rank (column space).
+    """
+
+    channels: int = 4
+    ranks: int = 4
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    line_bytes: int = 64
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "ranks", "bank_groups", "banks_per_group"):
+            check_positive(name, getattr(self, name))
+            _bit_width(getattr(self, name))
+        check_positive("line_bytes", self.line_bytes)
+        check_positive("row_bytes", self.row_bytes)
+        if self.row_bytes % self.line_bytes:
+            raise ValueError("row_bytes must be a multiple of line_bytes")
+
+    @property
+    def columns_per_row(self) -> int:
+        """Number of cache-line-sized columns in one row."""
+        return self.row_bytes // self.line_bytes
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Decompose a physical byte address into DRAM coordinates."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        line = address // self.line_bytes
+
+        channel = line % self.channels
+        line //= self.channels
+
+        column = line % self.columns_per_row
+        line //= self.columns_per_row
+
+        bank = line % self.banks_per_group
+        line //= self.banks_per_group
+
+        bank_group = line % self.bank_groups
+        line //= self.bank_groups
+
+        rank = line % self.ranks
+        line //= self.ranks
+
+        row = line
+        return DecodedAddress(
+            channel=channel,
+            rank=rank,
+            bank_group=bank_group,
+            bank=bank,
+            row=row,
+            column=column,
+        )
+
+    def flat_bank_index(self, decoded: DecodedAddress) -> int:
+        """Unique bank index within a channel (rank, bank group, bank)."""
+        banks_per_rank = self.bank_groups * self.banks_per_group
+        return (
+            decoded.rank * banks_per_rank
+            + decoded.bank_group * self.banks_per_group
+            + decoded.bank
+        )
+
+    @property
+    def banks_per_channel(self) -> int:
+        """Total independently schedulable banks in one channel."""
+        return self.ranks * self.bank_groups * self.banks_per_group

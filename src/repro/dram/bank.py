@@ -1,0 +1,108 @@
+"""Per-bank DRAM state machine.
+
+Each bank tracks its open row and the earliest cycles at which the next
+ACTIVATE, column access (READ/WRITE) and PRECHARGE commands may issue,
+enforcing the tRCD/tRP/tRAS/tRC/tWR/tRTP constraints from the timing
+profile.  The channel controller layers bus arbitration, FR-FCFS
+scheduling, tFAW and refresh on top of this.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dram.timing import DDR4Timing
+
+
+class BankState(enum.Enum):
+    """Observable state of a DRAM bank."""
+
+    PRECHARGED = "precharged"
+    ACTIVE = "active"
+
+
+@dataclass
+class Bank:
+    """One DRAM bank and its timing bookkeeping (cycles).
+
+    The bank exposes *earliest-issue* accounting: commands are issued at
+    ``max(requested_cycle, earliest_allowed)`` and the method returns the
+    cycle at which the command's effect completes.
+    """
+
+    timing: DDR4Timing
+    state: BankState = BankState.PRECHARGED
+    open_row: int | None = None
+    next_activate: int = 0
+    next_access: int = 0
+    next_precharge: int = 0
+    row_activations: int = field(default=0, compare=False)
+
+    def activate(self, row: int, cycle: int) -> int:
+        """Issue ACTIVATE for ``row``; returns the issue cycle.
+
+        Raises
+        ------
+        ValueError
+            If the bank already has a row open (must precharge first).
+        """
+        if self.state is BankState.ACTIVE:
+            raise ValueError("cannot ACTIVATE: bank already has an open row")
+        issue = max(cycle, self.next_activate)
+        timing = self.timing
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.row_activations += 1
+        self.next_access = issue + timing.tRCD
+        self.next_precharge = issue + timing.tRAS
+        self.next_activate = issue + timing.tRC
+        return issue
+
+    def precharge(self, cycle: int) -> int:
+        """Issue PRECHARGE; returns the issue cycle.  Idempotent when closed."""
+        if self.state is BankState.PRECHARGED:
+            return cycle
+        issue = max(cycle, self.next_precharge)
+        self.state = BankState.PRECHARGED
+        self.open_row = None
+        self.next_activate = max(self.next_activate, issue + self.timing.tRP)
+        return issue
+
+    def column_access(self, cycle: int, is_write: bool) -> tuple:
+        """Issue READ or WRITE to the open row.
+
+        Returns ``(issue_cycle, data_done_cycle)`` where ``data_done`` is
+        when the last data beat of the burst leaves (read) or is written
+        into (write) the device.
+
+        Raises
+        ------
+        ValueError
+            If no row is open.
+        """
+        if self.state is not BankState.ACTIVE:
+            raise ValueError("cannot READ/WRITE: no open row")
+        timing = self.timing
+        issue = max(cycle, self.next_access)
+        if is_write:
+            data_done = issue + timing.tCWL + timing.burst_cycles
+            # Write recovery constrains the following precharge.
+            self.next_precharge = max(self.next_precharge, data_done + timing.tWR)
+            self.next_access = max(self.next_access, issue + timing.tCCD)
+        else:
+            data_done = issue + timing.tCL + timing.burst_cycles
+            self.next_precharge = max(self.next_precharge, issue + timing.tRTP)
+            self.next_access = max(self.next_access, issue + timing.tCCD)
+        return issue, data_done
+
+    def block_until(self, cycle: int) -> None:
+        """Push all earliest-issue times to at least ``cycle`` (refresh)."""
+        self.next_activate = max(self.next_activate, cycle)
+        self.next_access = max(self.next_access, cycle)
+        self.next_precharge = max(self.next_precharge, cycle)
+
+    @property
+    def is_open(self) -> bool:
+        """True when a row is currently open."""
+        return self.state is BankState.ACTIVE

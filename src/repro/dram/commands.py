@@ -1,0 +1,69 @@
+"""DRAM request and command vocabulary."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_non_negative
+
+
+class RequestType(enum.Enum):
+    """Type of a memory-controller request."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class DramCommand(enum.Enum):
+    """Device-level DRAM commands issued by the controller."""
+
+    ACTIVATE = "activate"
+    READ = "read"
+    WRITE = "write"
+    PRECHARGE = "precharge"
+    REFRESH = "refresh"
+
+
+@dataclass
+class MemoryRequest:
+    """One cache-line-sized request presented to the memory system.
+
+    Attributes
+    ----------
+    address:
+        Physical byte address of the access.
+    request_type:
+        READ or WRITE.
+    arrival_cycle:
+        Memory-clock cycle at which the request reaches the controller.
+    size_bytes:
+        Request size; the default 64 bytes matches the LLC line size.
+    completion_cycle:
+        Filled in by the controller when the request's data transfer
+        finishes; ``None`` until then.
+    """
+
+    address: int
+    request_type: RequestType
+    arrival_cycle: int
+    size_bytes: int = 64
+    completion_cycle: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        check_non_negative("address", self.address)
+        check_non_negative("arrival_cycle", self.arrival_cycle)
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {self.size_bytes}")
+
+    @property
+    def is_write(self) -> bool:
+        """True for write requests."""
+        return self.request_type is RequestType.WRITE
+
+    @property
+    def latency(self) -> int:
+        """Cycles from arrival to completion (requires completion)."""
+        if self.completion_cycle is None:
+            raise ValueError("request has not completed yet")
+        return self.completion_cycle - self.arrival_cycle

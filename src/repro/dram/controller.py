@@ -1,0 +1,212 @@
+"""Per-channel DDR4 memory controller with FR-FCFS scheduling.
+
+The controller models the transaction path the paper's DRAMSim2
+configuration exercises:
+
+* per-bank open-row tracking (row hits / misses / conflicts),
+* FR-FCFS arbitration (oldest row-hit first, then oldest request),
+* shared data-bus occupancy per channel,
+* the four-activate window (tFAW) per rank,
+* periodic refresh (tREFI / tRFC) that stalls the whole rank.
+
+It is transaction-level rather than cycle-stepped: requests are served
+in scheduler order, and the completion cycle of every request is
+computed from the bank/bus/refresh constraints.  That keeps Python
+runtimes practical while preserving latency and bandwidth behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List
+
+from repro.dram.address_map import AddressMapping, DecodedAddress
+from repro.dram.bank import Bank
+from repro.dram.commands import MemoryRequest
+from repro.dram.timing import DDR4Timing, DDR4_1600_4GBIT
+
+
+@dataclass
+class ControllerStats:
+    """Counters accumulated by one channel controller."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    activations: int = 0
+    precharges: int = 0
+    refreshes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    total_read_latency: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total column accesses served."""
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses that hit an open row."""
+        if self.accesses == 0:
+            return 0.0
+        return self.row_hits / self.accesses
+
+    @property
+    def average_read_latency(self) -> float:
+        """Average read latency in memory-clock cycles."""
+        if self.reads == 0:
+            return 0.0
+        return self.total_read_latency / self.reads
+
+
+@dataclass
+class ChannelController:
+    """FR-FCFS controller for one DDR4 channel.
+
+    Parameters
+    ----------
+    timing:
+        Device timing profile.
+    mapping:
+        Address interleaving (provides rank/bank topology).
+    scheduling_window:
+        Maximum number of queued requests inspected when looking for a
+        row hit (the FR part of FR-FCFS).
+    """
+
+    timing: DDR4Timing = field(default_factory=lambda: DDR4_1600_4GBIT)
+    mapping: AddressMapping = field(default_factory=AddressMapping)
+    scheduling_window: int = 16
+    stats: ControllerStats = field(default_factory=ControllerStats)
+
+    def __post_init__(self) -> None:
+        if self.scheduling_window < 1:
+            raise ValueError("scheduling_window must be >= 1")
+        self._banks: Dict[int, Bank] = {}
+        self._activate_history: Dict[int, Deque[int]] = {}
+        self._bus_free = 0
+        self._next_refresh = self.timing.tREFI
+
+    # -- internal helpers -------------------------------------------------------
+
+    def _bank(self, index: int) -> Bank:
+        if index not in self._banks:
+            self._banks[index] = Bank(self.timing)
+        return self._banks[index]
+
+    def _respect_refresh(self, cycle: int) -> int:
+        """Apply any refreshes due before ``cycle``; return adjusted cycle."""
+        while cycle >= self._next_refresh:
+            refresh_end = self._next_refresh + self.timing.tRFC
+            for bank in self._banks.values():
+                bank.precharge(self._next_refresh)
+                bank.block_until(refresh_end)
+            self.stats.refreshes += 1
+            self._next_refresh += self.timing.tREFI
+            cycle = max(cycle, refresh_end)
+        return cycle
+
+    def _respect_faw(self, rank: int, activate_cycle: int) -> int:
+        """Delay an ACTIVATE so at most four land in any tFAW window."""
+        history = self._activate_history.setdefault(rank, deque(maxlen=4))
+        if len(history) == 4:
+            earliest_allowed = history[0] + self.timing.tFAW
+            activate_cycle = max(activate_cycle, earliest_allowed)
+        return activate_cycle
+
+    def _record_activate(self, rank: int, cycle: int) -> None:
+        history = self._activate_history.setdefault(rank, deque(maxlen=4))
+        history.append(cycle)
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def _pick_next(self, queue: List[MemoryRequest], now: int) -> int:
+        """Index of the next request to service (FR-FCFS)."""
+        window = queue[: self.scheduling_window]
+        for index, request in enumerate(window):
+            if request.arrival_cycle > now:
+                break
+            decoded = self.mapping.decode(request.address)
+            bank = self._bank(self.mapping.flat_bank_index(decoded))
+            if bank.is_open and bank.open_row == decoded.row:
+                return index
+        return 0
+
+    def _service(self, request: MemoryRequest, now: int) -> int:
+        """Schedule one request; returns its completion cycle."""
+        decoded: DecodedAddress = self.mapping.decode(request.address)
+        bank_index = self.mapping.flat_bank_index(decoded)
+        bank = self._bank(bank_index)
+        start = max(now, request.arrival_cycle)
+        start = self._respect_refresh(start)
+
+        if bank.is_open and bank.open_row == decoded.row:
+            self.stats.row_hits += 1
+        elif bank.is_open:
+            self.stats.row_conflicts += 1
+            bank.precharge(start)
+            self.stats.precharges += 1
+            activate_cycle = self._respect_faw(decoded.rank, start)
+            issued = bank.activate(decoded.row, activate_cycle)
+            self._record_activate(decoded.rank, issued)
+            self.stats.activations += 1
+        else:
+            self.stats.row_misses += 1
+            activate_cycle = self._respect_faw(decoded.rank, start)
+            issued = bank.activate(decoded.row, activate_cycle)
+            self._record_activate(decoded.rank, issued)
+            self.stats.activations += 1
+
+        issue, data_done = bank.column_access(start, request.is_write)
+        # Serialize bursts on the shared channel data bus.
+        bus_start = max(issue, self._bus_free)
+        if bus_start > issue:
+            data_done += bus_start - issue
+        self._bus_free = bus_start + self.timing.burst_cycles
+
+        request.completion_cycle = data_done
+        if request.is_write:
+            self.stats.writes += 1
+            self.stats.bytes_written += request.size_bytes
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += request.size_bytes
+            self.stats.total_read_latency += data_done - request.arrival_cycle
+        return data_done
+
+    # -- public API -------------------------------------------------------------------
+
+    def run(self, requests: Iterable[MemoryRequest]) -> List[MemoryRequest]:
+        """Service ``requests`` (sorted by arrival) and return them completed."""
+        queue: List[MemoryRequest] = sorted(requests, key=lambda r: r.arrival_cycle)
+        completed: List[MemoryRequest] = []
+        now = 0
+        while queue:
+            now = max(now, queue[0].arrival_cycle)
+            index = self._pick_next(queue, now)
+            request = queue.pop(index)
+            completion = self._service(request, now)
+            now = max(now, min(completion, now + self.timing.burst_cycles))
+            completed.append(request)
+        return completed
+
+    def access_latency(self, address: int, is_write: bool, cycle: int) -> int:
+        """Convenience single-request path: returns the access latency in cycles."""
+        from repro.dram.commands import RequestType
+
+        request = MemoryRequest(
+            address=address,
+            request_type=RequestType.WRITE if is_write else RequestType.READ,
+            arrival_cycle=cycle,
+        )
+        completion = self._service(request, cycle)
+        return completion - cycle
+
+    @property
+    def busy_until(self) -> int:
+        """Cycle at which the channel data bus becomes free."""
+        return self._bus_free

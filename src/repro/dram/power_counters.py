@@ -1,0 +1,86 @@
+"""DRAM energy accounting from controller counters (Table I).
+
+The paper computes memory power by scaling the Table I chip energies to
+the number of ranks in the system and the application's bandwidth.
+This module performs the same computation from the counters produced by
+the timing simulator, so the detailed and analytical paths use the same
+energy coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.system import MemorySystem
+from repro.power.dram_power import (
+    DDR4_4GBIT_X8,
+    DramChipEnergyProfile,
+    MemoryOrganization,
+)
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DramEnergyReport:
+    """Energy breakdown of the memory system over an interval."""
+
+    interval_seconds: float
+    background_energy: float
+    read_energy: float
+    write_energy: float
+
+    @property
+    def dynamic_energy(self) -> float:
+        """Read plus write energy in joules."""
+        return self.read_energy + self.write_energy
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy in joules."""
+        return self.background_energy + self.dynamic_energy
+
+    @property
+    def average_power(self) -> float:
+        """Average power in watts over the interval."""
+        if self.interval_seconds <= 0.0:
+            return 0.0
+        return self.total_energy / self.interval_seconds
+
+
+@dataclass(frozen=True)
+class DramEnergyAccountant:
+    """Converts memory-system counters into energy using a chip profile."""
+
+    chip: DramChipEnergyProfile = DDR4_4GBIT_X8
+    organization: MemoryOrganization = MemoryOrganization()
+
+    def report_from_counters(
+        self,
+        interval_seconds: float,
+        bytes_read: int,
+        bytes_written: int,
+    ) -> DramEnergyReport:
+        """Energy report from raw byte counters over ``interval_seconds``."""
+        check_positive("interval_seconds", interval_seconds)
+        if bytes_read < 0 or bytes_written < 0:
+            raise ValueError("byte counters must be non-negative")
+        background = (
+            self.organization.total_chips
+            * self.chip.background_power
+            * interval_seconds
+        )
+        return DramEnergyReport(
+            interval_seconds=interval_seconds,
+            background_energy=background,
+            read_energy=bytes_read * self.chip.read_energy_per_byte,
+            write_energy=bytes_written * self.chip.write_energy_per_byte,
+        )
+
+    def report(self, system: MemorySystem, interval_seconds: float) -> DramEnergyReport:
+        """Energy report for a simulated :class:`MemorySystem` interval."""
+        stats = system.stats()
+        return self.report_from_counters(
+            interval_seconds=interval_seconds,
+            bytes_read=stats.bytes_read,
+            bytes_written=stats.bytes_written,
+        )

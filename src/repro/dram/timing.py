@@ -1,0 +1,142 @@
+"""DDR4 device timing parameters.
+
+All parameters are expressed in memory-clock cycles of the I/O clock
+(800MHz for DDR4-1600, i.e. 1600MT/s), matching how DRAMSim2 consumes
+the Micron datasheet.  The default parameter set corresponds to a
+Micron 4Gbit x8 DDR4-1600 part, the device the paper's Table I and
+memory organisation are based on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DDR4Timing:
+    """Timing parameters of one DDR4 device/speed grade (in cycles).
+
+    Attributes follow JEDEC naming:
+
+    * ``tCL`` -- CAS (read) latency.
+    * ``tRCD`` -- ACTIVATE to READ/WRITE delay.
+    * ``tRP`` -- PRECHARGE to ACTIVATE delay.
+    * ``tRAS`` -- ACTIVATE to PRECHARGE minimum.
+    * ``tRC`` -- ACTIVATE to ACTIVATE (same bank) minimum.
+    * ``tCCD`` -- column-to-column delay (back-to-back bursts).
+    * ``tRRD`` -- ACTIVATE to ACTIVATE (different bank) minimum.
+    * ``tFAW`` -- four-activate window.
+    * ``tWR`` -- write recovery time.
+    * ``tWTR`` -- write-to-read turnaround.
+    * ``tRTP`` -- read-to-precharge delay.
+    * ``tCWL`` -- CAS write latency.
+    * ``tREFI`` -- average refresh interval.
+    * ``tRFC`` -- refresh cycle time.
+    * ``burst_length`` -- transfers per column command (BL8).
+    """
+
+    name: str
+    clock_hz: float
+    tCL: int
+    tRCD: int
+    tRP: int
+    tRAS: int
+    tRC: int
+    tCCD: int
+    tRRD: int
+    tFAW: int
+    tWR: int
+    tWTR: int
+    tRTP: int
+    tCWL: int
+    tREFI: int
+    tRFC: int
+    burst_length: int = 8
+    banks_per_group: int = 4
+    bank_groups: int = 4
+    row_size_bytes: int = 1024
+    device_width_bits: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("clock_hz", self.clock_hz)
+        for field_name in (
+            "tCL",
+            "tRCD",
+            "tRP",
+            "tRAS",
+            "tRC",
+            "tCCD",
+            "tRRD",
+            "tFAW",
+            "tWR",
+            "tWTR",
+            "tRTP",
+            "tCWL",
+            "tREFI",
+            "tRFC",
+            "burst_length",
+            "banks_per_group",
+            "bank_groups",
+            "row_size_bytes",
+            "device_width_bits",
+        ):
+            check_positive(field_name, getattr(self, field_name))
+        if self.tRAS + self.tRP > self.tRC:
+            raise ValueError("inconsistent timings: tRAS + tRP must be <= tRC")
+
+    @property
+    def banks(self) -> int:
+        """Total banks per rank (bank groups x banks per group)."""
+        return self.banks_per_group * self.bank_groups
+
+    @property
+    def burst_cycles(self) -> int:
+        """Data-bus cycles occupied by one burst (BL8 on a DDR bus = 4)."""
+        return max(1, self.burst_length // 2)
+
+    @property
+    def clock_period_seconds(self) -> float:
+        """Memory clock period in seconds."""
+        return 1.0 / self.clock_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert memory-clock cycles to seconds."""
+        return cycles / self.clock_hz
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Read latency in cycles when the row is already open."""
+        return self.tCL + self.burst_cycles
+
+    @property
+    def row_closed_latency(self) -> int:
+        """Read latency in cycles when the bank is precharged (row closed)."""
+        return self.tRCD + self.tCL + self.burst_cycles
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Read latency in cycles when another row is open (conflict)."""
+        return self.tRP + self.tRCD + self.tCL + self.burst_cycles
+
+
+# Micron 4Gbit x8 DDR4-1600 (CL 11) expressed at the 800MHz I/O clock.
+DDR4_1600_4GBIT = DDR4Timing(
+    name="ddr4-1600-4gbit-x8",
+    clock_hz=800.0e6,
+    tCL=11,
+    tRCD=11,
+    tRP=11,
+    tRAS=28,
+    tRC=39,
+    tCCD=4,
+    tRRD=5,
+    tFAW=20,
+    tWR=12,
+    tWTR=6,
+    tRTP=6,
+    tCWL=9,
+    tREFI=6240,
+    tRFC=208,
+)

@@ -1,0 +1,108 @@
+"""Queueing models for loaded scale-out servers.
+
+The paper measures its baseline 99th-percentile latencies "in a
+near-zero contention configuration" and scales them with throughput.
+The consolidation discussion (Section V-C), however, asks how much load
+can be added before the tail blows up; these classical queueing models
+provide that extension:
+
+* :class:`MM1Queue` -- exponential service times; closed-form response
+  time distribution, so percentiles are exact.
+* :class:`MG1Queue` -- general service times via the
+  Pollaczek-Khinchine formula, with a percentile approximation based on
+  an exponential tail matched to the mean response time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MM1Queue:
+    """M/M/1 queue: Poisson arrivals, exponential service."""
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        check_positive("arrival_rate", self.arrival_rate)
+        check_positive("service_rate", self.service_rate)
+        if self.arrival_rate >= self.service_rate:
+            raise ValueError(
+                f"unstable queue: arrival rate {self.arrival_rate} >= "
+                f"service rate {self.service_rate}"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """Server utilisation (rho)."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean time in system (wait + service), seconds."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Mean time in queue (excluding service), seconds."""
+        return self.utilization / (self.service_rate - self.arrival_rate)
+
+    def response_time_percentile(self, percentile: float) -> float:
+        """Exact response-time percentile (response time is exponential)."""
+        if not (0.0 < percentile < 100.0):
+            raise ValueError(f"percentile must be in (0, 100), got {percentile}")
+        return -math.log(1.0 - percentile / 100.0) * self.mean_response_time
+
+
+@dataclass(frozen=True)
+class MG1Queue:
+    """M/G/1 queue: Poisson arrivals, general service distribution."""
+
+    arrival_rate: float
+    mean_service_time: float
+    service_time_cv: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("arrival_rate", self.arrival_rate)
+        check_positive("mean_service_time", self.mean_service_time)
+        check_positive("service_time_cv", self.service_time_cv)
+        if self.utilization >= 1.0:
+            raise ValueError(
+                f"unstable queue: utilisation {self.utilization:.3f} >= 1"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """Server utilisation (rho)."""
+        return self.arrival_rate * self.mean_service_time
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Pollaczek-Khinchine mean waiting time, seconds."""
+        rho = self.utilization
+        cv_squared = self.service_time_cv * self.service_time_cv
+        return (rho * self.mean_service_time * (1.0 + cv_squared)) / (
+            2.0 * (1.0 - rho)
+        )
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean time in system, seconds."""
+        return self.mean_waiting_time + self.mean_service_time
+
+    def response_time_percentile(self, percentile: float) -> float:
+        """Approximate percentile assuming an exponential response tail."""
+        if not (0.0 < percentile < 100.0):
+            raise ValueError(f"percentile must be in (0, 100), got {percentile}")
+        return -math.log(1.0 - percentile / 100.0) * self.mean_response_time
+
+    def max_stable_arrival_rate(self, safety_margin: float = 0.05) -> float:
+        """Largest arrival rate keeping utilisation below 1 - margin."""
+        if not (0.0 <= safety_margin < 1.0):
+            raise ValueError("safety_margin must be in [0, 1)")
+        return (1.0 - safety_margin) / self.mean_service_time

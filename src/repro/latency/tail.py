@@ -1,0 +1,84 @@
+"""Tail-latency scaling with core frequency (Figure 2 methodology).
+
+The paper measures the minimum 99th-percentile latency of each
+scale-out application at a nominal 2GHz operating point with near-zero
+contention, then scales that latency by the simulated throughput ratio:
+
+    latency_99(f) = latency_99(f_nominal) * UIPS(f_nominal) / UIPS(f)
+
+which is valid because the number of user instructions per request does
+not depend on the operating point.  Figure 2 plots this latency
+normalised to each application's QoS limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+from repro.workloads.base import WorkloadCharacteristics
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """Latency of one workload at one core frequency."""
+
+    frequency_hz: float
+    latency_seconds: float
+    qos_limit_seconds: float
+
+    @property
+    def normalized_to_qos(self) -> float:
+        """Latency divided by the QoS limit (1.0 = exactly at the limit)."""
+        return self.latency_seconds / self.qos_limit_seconds
+
+    @property
+    def meets_qos(self) -> bool:
+        """True when the latency is at or below the QoS limit."""
+        return self.normalized_to_qos <= 1.0 + 1e-9
+
+
+@dataclass(frozen=True)
+class TailLatencyModel:
+    """Applies the paper's latency-vs-throughput scaling rule."""
+
+    workload: WorkloadCharacteristics
+
+    def __post_init__(self) -> None:
+        if not self.workload.is_scale_out:
+            raise ValueError(
+                f"{self.workload.name}: tail-latency scaling applies to "
+                "scale-out workloads only"
+            )
+
+    def latency(
+        self,
+        frequency_hz: float,
+        core_uips: float,
+        core_uips_nominal: float,
+    ) -> LatencyPoint:
+        """Latency at ``frequency_hz`` given per-core throughputs.
+
+        Parameters
+        ----------
+        frequency_hz:
+            The operating point being evaluated (recorded in the result).
+        core_uips:
+            Per-core user instructions per second at that point.
+        core_uips_nominal:
+            Per-core UIPS at the nominal (2GHz) measurement point.
+        """
+        check_positive("frequency_hz", frequency_hz)
+        check_positive("core_uips", core_uips)
+        check_positive("core_uips_nominal", core_uips_nominal)
+        scale = core_uips_nominal / core_uips
+        latency = self.workload.minimum_latency_99th_seconds * scale
+        return LatencyPoint(
+            frequency_hz=frequency_hz,
+            latency_seconds=latency,
+            qos_limit_seconds=self.workload.qos_limit_seconds,
+        )
+
+    def slowdown_budget(self) -> float:
+        """Largest tolerable throughput slowdown before violating QoS."""
+        return self.workload.qos_headroom_at_nominal

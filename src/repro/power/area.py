@@ -1,0 +1,95 @@
+"""Chip area model.
+
+The paper sizes the server die at 300mm^2 and reports that "the server
+die can accommodate 9 clusters before hitting the area limit"
+(Section IV).  This module provides the per-component area estimates
+that reproduce that packing result and lets ablations change the
+cluster composition (e.g. the 16-core / 4MB cluster used to derive the
+optimal core-to-cache ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import MB
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ComponentArea:
+    """Area estimates (mm^2) of the building blocks of the server die."""
+
+    core_mm2: float = 3.2
+    """One Cortex-A57 core including its private L1 caches."""
+
+    llc_mm2_per_mb: float = 4.0
+    """LLC array plus tag/control area per megabyte."""
+
+    crossbar_mm2: float = 1.0
+    """Per-cluster cache-coherent crossbar."""
+
+    peripherals_mm2: float = 30.0
+    """Chip-edge I/O peripherals (memory controller PHYs, PCIe, NIC)."""
+
+    def __post_init__(self) -> None:
+        check_positive("core_mm2", self.core_mm2)
+        check_positive("llc_mm2_per_mb", self.llc_mm2_per_mb)
+        check_positive("crossbar_mm2", self.crossbar_mm2)
+        check_non_negative("peripherals_mm2", self.peripherals_mm2)
+
+
+@dataclass(frozen=True)
+class ChipAreaModel:
+    """Packs clusters into the die area budget.
+
+    Parameters
+    ----------
+    die_area_mm2:
+        Total die area budget (300mm^2 in the paper).
+    components:
+        Per-component area estimates.
+    """
+
+    die_area_mm2: float = 300.0
+    components: ComponentArea = ComponentArea()
+
+    def __post_init__(self) -> None:
+        check_positive("die_area_mm2", self.die_area_mm2)
+
+    def cluster_area(self, cores_per_cluster: int, llc_bytes: int) -> float:
+        """Area of one cluster in mm^2."""
+        check_positive("cores_per_cluster", cores_per_cluster)
+        check_positive("llc_bytes", llc_bytes)
+        llc_mb = llc_bytes / MB
+        return (
+            cores_per_cluster * self.components.core_mm2
+            + llc_mb * self.components.llc_mm2_per_mb
+            + self.components.crossbar_mm2
+        )
+
+    def available_cluster_area(self) -> float:
+        """Die area left for clusters after the peripheral ring, mm^2."""
+        return self.die_area_mm2 - self.components.peripherals_mm2
+
+    def max_clusters(self, cores_per_cluster: int, llc_bytes: int) -> int:
+        """Largest cluster count that fits in the die area budget."""
+        cluster = self.cluster_area(cores_per_cluster, llc_bytes)
+        return int(self.available_cluster_area() // cluster)
+
+    def chip_area(
+        self, cluster_count: int, cores_per_cluster: int, llc_bytes: int
+    ) -> float:
+        """Total occupied area in mm^2 for the given organisation."""
+        check_positive("cluster_count", cluster_count)
+        return (
+            cluster_count * self.cluster_area(cores_per_cluster, llc_bytes)
+            + self.components.peripherals_mm2
+        )
+
+    def fits(self, cluster_count: int, cores_per_cluster: int, llc_bytes: int) -> bool:
+        """True when the organisation fits in the die area budget."""
+        return (
+            self.chip_area(cluster_count, cores_per_cluster, llc_bytes)
+            <= self.die_area_mm2
+        )

@@ -1,0 +1,78 @@
+"""CACTI-style last-level-cache power model.
+
+The paper uses CACTI / CACTI-P to size the LLC power: "A 1MB slice of
+the LLC dissipates power in the order of 500mW, mostly due to leakage",
+already accounting for cutting-edge leakage-reduction techniques, and
+assumes the LLC sits on a voltage/clock domain separate from the cores
+so its power does not scale with the core DVFS point.
+
+The model exposes:
+
+* a leakage term proportional to capacity (with an optional
+  leakage-reduction factor standing in for CACTI-P's sleep transistors),
+* a small dynamic term proportional to the access rate, and
+* the total power of one cluster's LLC and of the whole chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import MB
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class CachePowerModel:
+    """Power model of an SRAM last-level cache.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Cache capacity in bytes (the paper's cluster LLC is 4MB).
+    leakage_per_mb:
+        Leakage power per megabyte in watts.  Calibrated to 0.45W/MB so
+        that leakage plus the nominal dynamic component lands at the
+        paper's ~500mW per 1MB slice.
+    dynamic_energy_per_access:
+        Energy per LLC access in joules (read or write of a 64B line).
+    leakage_reduction:
+        Fraction of leakage removed by CACTI-P style leakage-reduction
+        techniques for the *idle* portions of the array; 0 disables it.
+        The calibrated leakage_per_mb value is quoted after reduction,
+        so the default is 0.
+    """
+
+    capacity_bytes: int = 4 * MB
+    leakage_per_mb: float = 0.45
+    dynamic_energy_per_access: float = 0.6e-9
+    leakage_reduction: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("leakage_per_mb", self.leakage_per_mb)
+        check_positive("dynamic_energy_per_access", self.dynamic_energy_per_access)
+        check_fraction("leakage_reduction", self.leakage_reduction)
+
+    @property
+    def capacity_mb(self) -> float:
+        """Capacity in megabytes."""
+        return self.capacity_bytes / MB
+
+    def leakage_power(self) -> float:
+        """Static power of the array in watts."""
+        return self.capacity_mb * self.leakage_per_mb * (1.0 - self.leakage_reduction)
+
+    def dynamic_power(self, accesses_per_second: float) -> float:
+        """Dynamic power in watts at the given access rate."""
+        check_non_negative("accesses_per_second", accesses_per_second)
+        return accesses_per_second * self.dynamic_energy_per_access
+
+    def total_power(self, accesses_per_second: float = 1.0e8) -> float:
+        """Total power in watts; the default access rate reproduces the
+        ~500mW-per-MB figure for a moderately loaded 1MB slice."""
+        return self.leakage_power() + self.dynamic_power(accesses_per_second)
+
+    def power_per_mb(self, accesses_per_second: float = 1.0e8) -> float:
+        """Average power per megabyte at the given access rate."""
+        return self.total_power(accesses_per_second) / self.capacity_mb

@@ -1,0 +1,190 @@
+"""DDR4 memory power model (Micron power-calculator substitute).
+
+The paper characterises an 8-bit-wide ("x8") 4Gbit DDR4 chip at a
+1.6GHz clock with three energies (Table I):
+
+    E_IDLE  = 0.0728 nJ/cycle     (background / standby energy)
+    E_READ  = 0.2566 nJ/byte
+    E_WRITE = 0.2495 nJ/byte
+
+and notes: "in order to calculate the total power consumption, we scale
+these numbers to match the number of ranks in the system and the
+application's memory bandwidth consumption."
+
+The server has four DDR4-1600 channels (25.6GB/s peak each), four ranks
+per channel and eight x8 4Gbit chips per rank, for 64GB total.
+
+This module also ships an LPDDR4-like profile (much lower background
+energy) used by the energy-proportionality ablation the discussion
+section suggests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB
+from repro.utils.validation import check_non_negative, check_positive
+
+NJ = 1.0e-9
+
+
+@dataclass(frozen=True)
+class DramChipEnergyProfile:
+    """Energy characteristics of a single DRAM chip (Table I format).
+
+    Attributes
+    ----------
+    name:
+        Profile label, e.g. ``"ddr4-4gbit-x8"``.
+    idle_energy_per_cycle:
+        Background energy per memory-clock cycle, joules (E_IDLE).
+    read_energy_per_byte:
+        Energy per byte read from this chip, joules (E_READ).
+    write_energy_per_byte:
+        Energy per byte written to this chip, joules (E_WRITE).
+    capacity_bits:
+        Chip capacity in bits.
+    data_width_bits:
+        Chip interface width ("x8" -> 8).
+    clock_hz:
+        Memory clock at which the idle energy is quoted.
+    """
+
+    name: str
+    idle_energy_per_cycle: float
+    read_energy_per_byte: float
+    write_energy_per_byte: float
+    capacity_bits: int = 4 * 1024**3
+    data_width_bits: int = 8
+    clock_hz: float = 1.6e9
+
+    def __post_init__(self) -> None:
+        check_positive("idle_energy_per_cycle", self.idle_energy_per_cycle)
+        check_positive("read_energy_per_byte", self.read_energy_per_byte)
+        check_positive("write_energy_per_byte", self.write_energy_per_byte)
+        check_positive("capacity_bits", self.capacity_bits)
+        check_positive("data_width_bits", self.data_width_bits)
+        check_positive("clock_hz", self.clock_hz)
+
+    @property
+    def background_power(self) -> float:
+        """Background (idle) power of one chip in watts."""
+        return self.idle_energy_per_cycle * self.clock_hz
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Chip capacity in bytes."""
+        return self.capacity_bits // 8
+
+
+DDR4_4GBIT_X8 = DramChipEnergyProfile(
+    name="ddr4-4gbit-x8",
+    idle_energy_per_cycle=0.0728 * NJ,
+    read_energy_per_byte=0.2566 * NJ,
+    write_energy_per_byte=0.2495 * NJ,
+)
+"""The paper's Table I DDR4 profile (Micron 4Gbit x8 at 1.6GHz)."""
+
+
+LPDDR4_4GBIT_X8 = DramChipEnergyProfile(
+    name="lpddr4-4gbit-x8",
+    idle_energy_per_cycle=0.0110 * NJ,
+    read_energy_per_byte=0.2900 * NJ,
+    write_energy_per_byte=0.2850 * NJ,
+)
+"""Mobile-DRAM-like profile: background energy cut by ~6.6x at slightly
+higher per-access energy, following the energy-proportional-memory
+direction the paper's discussion cites (Malladi et al., ISCA 2012)."""
+
+
+@dataclass(frozen=True)
+class MemoryOrganization:
+    """Physical organisation of the server memory subsystem."""
+
+    channels: int = 4
+    ranks_per_channel: int = 4
+    chips_per_rank: int = 8
+    channel_peak_bandwidth: float = 25.6e9
+
+    def __post_init__(self) -> None:
+        check_positive("channels", self.channels)
+        check_positive("ranks_per_channel", self.ranks_per_channel)
+        check_positive("chips_per_rank", self.chips_per_rank)
+        check_positive("channel_peak_bandwidth", self.channel_peak_bandwidth)
+
+    @property
+    def total_chips(self) -> int:
+        """Number of DRAM chips in the system."""
+        return self.channels * self.ranks_per_channel * self.chips_per_rank
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Aggregate peak bandwidth across all channels, bytes/s."""
+        return self.channels * self.channel_peak_bandwidth
+
+    def total_capacity_bytes(self, chip: DramChipEnergyProfile) -> int:
+        """Total memory capacity in bytes for the given chip profile."""
+        return self.total_chips * chip.capacity_bytes
+
+
+DEFAULT_ORGANIZATION = MemoryOrganization()
+"""The paper's memory organisation: 4 channels x 4 ranks x 8 chips = 64GB."""
+
+
+@dataclass(frozen=True)
+class MemoryPowerModel:
+    """Server memory-subsystem power model.
+
+    Total power = background power (all chips, constant, independent of
+    the cores' DVFS point) + dynamic power proportional to the read and
+    write bandwidth actually consumed by the application.
+    """
+
+    chip: DramChipEnergyProfile = DDR4_4GBIT_X8
+    organization: MemoryOrganization = DEFAULT_ORGANIZATION
+
+    def background_power(self) -> float:
+        """Constant background power of the whole memory system, watts."""
+        return self.organization.total_chips * self.chip.background_power
+
+    def dynamic_power(
+        self, read_bandwidth: float, write_bandwidth: float = 0.0
+    ) -> float:
+        """Dynamic power in watts for the given read/write bandwidth (bytes/s).
+
+        Raises
+        ------
+        ValueError
+            If the combined bandwidth exceeds the organisation's peak.
+        """
+        check_non_negative("read_bandwidth", read_bandwidth)
+        check_non_negative("write_bandwidth", write_bandwidth)
+        total = read_bandwidth + write_bandwidth
+        if total > self.organization.peak_bandwidth * (1.0 + 1e-9):
+            raise ValueError(
+                f"requested bandwidth {total / 1e9:.1f}GB/s exceeds the "
+                f"{self.organization.peak_bandwidth / 1e9:.1f}GB/s peak"
+            )
+        return (
+            read_bandwidth * self.chip.read_energy_per_byte
+            + write_bandwidth * self.chip.write_energy_per_byte
+        )
+
+    def total_power(self, read_bandwidth: float, write_bandwidth: float = 0.0) -> float:
+        """Background plus dynamic power in watts."""
+        return self.background_power() + self.dynamic_power(
+            read_bandwidth, write_bandwidth
+        )
+
+    def total_capacity_bytes(self) -> int:
+        """Total installed capacity in bytes (64GB for the default)."""
+        return self.organization.total_capacity_bytes(self.chip)
+
+    def capacity_gb(self) -> float:
+        """Total installed capacity in gigabytes."""
+        return self.total_capacity_bytes() / GB
+
+    def with_chip(self, chip: DramChipEnergyProfile) -> "MemoryPowerModel":
+        """Return a copy of the model using a different chip profile."""
+        return MemoryPowerModel(chip=chip, organization=self.organization)

@@ -1,0 +1,49 @@
+"""Cluster crossbar interconnect power model.
+
+Each cluster couples its four cores to the LLC banks through a
+cache-coherent crossbar.  The paper estimates the network links and
+switch fabric power at ~25mW per crossbar, based on prior on-chip
+network characterisation work, and places the crossbar on the uncore
+voltage domain (its power does not track the core DVFS point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class CrossbarPowerModel:
+    """Power model of one cluster's cache-coherent crossbar.
+
+    Parameters
+    ----------
+    static_power:
+        Idle (clocked but not transferring) power in watts; the paper's
+        aggregate 25mW per crossbar is dominated by this term.
+    energy_per_flit:
+        Energy per 64-bit flit traversal in joules.
+    flit_bytes:
+        Payload bytes carried by one flit.
+    """
+
+    static_power: float = 0.025
+    energy_per_flit: float = 2.0e-12
+    flit_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("static_power", self.static_power)
+        check_positive("energy_per_flit", self.energy_per_flit)
+        check_positive("flit_bytes", self.flit_bytes)
+
+    def dynamic_power(self, bytes_per_second: float) -> float:
+        """Dynamic power for the given traffic in watts."""
+        check_non_negative("bytes_per_second", bytes_per_second)
+        flits_per_second = bytes_per_second / self.flit_bytes
+        return flits_per_second * self.energy_per_flit
+
+    def total_power(self, bytes_per_second: float = 0.0) -> float:
+        """Total crossbar power in watts for the given traffic."""
+        return self.static_power + self.dynamic_power(bytes_per_second)

@@ -1,0 +1,103 @@
+"""Chip-edge I/O peripheral power model (McPAT substitute).
+
+The paper models the processor's I/O peripherals (memory controllers'
+PHY, PCIe, network interfaces, misc. system logic) with McPAT following
+a Sun UltraSPARC T2 configuration, "resulting in 5W", constant with
+respect to the core voltage/frequency point.
+
+Instead of embedding McPAT we provide an analytical breakdown whose
+components sum to the same 5W aggregate, so the aggregate and its
+composition are both inspectable and can be varied in ablations (e.g.
+energy-proportional I/O in the discussion section).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.utils.validation import check_fraction, check_non_negative
+
+
+@dataclass(frozen=True)
+class PeripheralComponent:
+    """One I/O peripheral block.
+
+    ``idle_fraction`` is the fraction of the block's peak power burned
+    regardless of utilisation (non-energy-proportional share).
+    """
+
+    name: str
+    peak_power: float
+    idle_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("peak_power", self.peak_power)
+        check_fraction("idle_fraction", self.idle_fraction)
+
+    def power(self, utilization: float = 0.0) -> float:
+        """Power in watts at the given utilisation (0..1)."""
+        check_fraction("utilization", utilization)
+        idle = self.peak_power * self.idle_fraction
+        proportional = self.peak_power * (1.0 - self.idle_fraction)
+        return idle + proportional * utilization
+
+
+def _default_t2_components() -> Tuple[PeripheralComponent, ...]:
+    """Sun UltraSPARC T2 style I/O configuration summing to 5W."""
+    return (
+        PeripheralComponent("memory-controller-phy", peak_power=1.8, idle_fraction=0.85),
+        PeripheralComponent("pcie-controller", peak_power=1.2, idle_fraction=0.90),
+        PeripheralComponent("network-interface", peak_power=1.1, idle_fraction=0.90),
+        PeripheralComponent("misc-system-logic", peak_power=0.9, idle_fraction=1.00),
+    )
+
+
+@dataclass(frozen=True)
+class IOPeripheralPowerModel:
+    """Aggregate I/O peripheral power of the server die.
+
+    With the default (McPAT / UltraSPARC T2 style) component set the
+    model reproduces the paper's 5W constant: the components' peak
+    powers sum to 5W and their idle fractions are high enough that the
+    total barely moves with utilisation, mirroring the paper's
+    assumption of a constant peripheral power.
+    """
+
+    components: Tuple[PeripheralComponent, ...] = field(
+        default_factory=_default_t2_components
+    )
+
+    @property
+    def peak_power(self) -> float:
+        """Sum of component peak powers in watts."""
+        return sum(component.peak_power for component in self.components)
+
+    def power(self, utilization: float = 1.0) -> float:
+        """Total peripheral power in watts at the given I/O utilisation."""
+        return sum(component.power(utilization) for component in self.components)
+
+    def breakdown(self, utilization: float = 1.0) -> dict:
+        """Per-component power in watts at the given utilisation."""
+        return {
+            component.name: component.power(utilization)
+            for component in self.components
+        }
+
+    def scaled(self, factor: float) -> "IOPeripheralPowerModel":
+        """Return a copy with every component's peak power scaled.
+
+        Used by energy-proportionality ablations that posit more (or
+        less) efficient I/O.
+        """
+        check_non_negative("factor", factor)
+        return IOPeripheralPowerModel(
+            components=tuple(
+                PeripheralComponent(
+                    name=component.name,
+                    peak_power=component.peak_power * factor,
+                    idle_fraction=component.idle_fraction,
+                )
+                for component in self.components
+            )
+        )

@@ -1,0 +1,92 @@
+"""Server power aggregation: SoC + memory subsystem.
+
+This is the scope used by Figures 3c and 4c.  The memory background
+power does not scale with the core frequency, while the memory dynamic
+power falls as the slower cores issue fewer references per unit time --
+which pushes the server-level efficiency optimum to an even higher core
+frequency than the SoC-level optimum (~1.2GHz for scale-out workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.dram_power import MemoryPowerModel
+from repro.power.soc import SoCPowerBreakdown, SoCPowerModel
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class ServerPowerBreakdown:
+    """Power breakdown of the whole server at one operating point."""
+
+    soc: SoCPowerBreakdown
+    memory_background_power: float
+    memory_dynamic_power: float
+
+    @property
+    def memory_power(self) -> float:
+        """Total memory-subsystem power in watts."""
+        return self.memory_background_power + self.memory_dynamic_power
+
+    @property
+    def total(self) -> float:
+        """Total server power in watts."""
+        return self.soc.total + self.memory_power
+
+
+@dataclass(frozen=True)
+class ServerPowerModel:
+    """Whole-server power model: processor die plus DRAM."""
+
+    soc: SoCPowerModel = field(default_factory=SoCPowerModel)
+    memory: MemoryPowerModel = field(default_factory=MemoryPowerModel)
+
+    def breakdown(
+        self,
+        core_frequency_hz: float,
+        activity: float = 1.0,
+        memory_read_bandwidth: float = 0.0,
+        memory_write_bandwidth: float = 0.0,
+        llc_accesses_per_second: float = 1.0e8,
+        crossbar_bytes_per_second: float = 0.0,
+        io_utilization: float = 1.0,
+    ) -> ServerPowerBreakdown:
+        """Power breakdown at the given operating point and memory traffic."""
+        check_non_negative("memory_read_bandwidth", memory_read_bandwidth)
+        check_non_negative("memory_write_bandwidth", memory_write_bandwidth)
+        soc_breakdown = self.soc.breakdown(
+            core_frequency_hz,
+            activity,
+            llc_accesses_per_second,
+            crossbar_bytes_per_second,
+            io_utilization,
+        )
+        return ServerPowerBreakdown(
+            soc=soc_breakdown,
+            memory_background_power=self.memory.background_power(),
+            memory_dynamic_power=self.memory.dynamic_power(
+                memory_read_bandwidth, memory_write_bandwidth
+            ),
+        )
+
+    def total_power(
+        self,
+        core_frequency_hz: float,
+        activity: float = 1.0,
+        memory_read_bandwidth: float = 0.0,
+        memory_write_bandwidth: float = 0.0,
+        llc_accesses_per_second: float = 1.0e8,
+        crossbar_bytes_per_second: float = 0.0,
+        io_utilization: float = 1.0,
+    ) -> float:
+        """Total server power in watts at the given operating point."""
+        return self.breakdown(
+            core_frequency_hz,
+            activity,
+            memory_read_bandwidth,
+            memory_write_bandwidth,
+            llc_accesses_per_second,
+            crossbar_bytes_per_second,
+            io_utilization,
+        ).total

@@ -1,0 +1,107 @@
+"""SoC (processor-die) power aggregation: cores + uncore.
+
+This is the scope used by Figures 3b and 4b: the chip's cores at their
+DVFS operating point plus the fixed-voltage-domain uncore (LLCs,
+crossbars, I/O peripherals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.uncore import UncorePowerModel
+from repro.technology.a57_model import CortexA57PowerModel
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class SoCPowerBreakdown:
+    """Power breakdown of the processor die at one operating point."""
+
+    core_power: float
+    llc_power: float
+    crossbar_power: float
+    peripheral_power: float
+
+    @property
+    def uncore_power(self) -> float:
+        """Total uncore power in watts."""
+        return self.llc_power + self.crossbar_power + self.peripheral_power
+
+    @property
+    def total(self) -> float:
+        """Total SoC power in watts."""
+        return self.core_power + self.uncore_power
+
+
+@dataclass(frozen=True)
+class SoCPowerModel:
+    """Processor-die power model.
+
+    Parameters
+    ----------
+    core_model:
+        Calibrated per-core technology/power model.
+    uncore:
+        Uncore power model (LLCs + crossbars + peripherals).
+    core_count:
+        Total cores on the die (36 in the paper: 9 clusters x 4 cores).
+    """
+
+    core_model: CortexA57PowerModel = field(default_factory=CortexA57PowerModel)
+    uncore: UncorePowerModel = field(default_factory=UncorePowerModel)
+    core_count: int = 36
+
+    def __post_init__(self) -> None:
+        check_positive("core_count", self.core_count)
+
+    def breakdown(
+        self,
+        core_frequency_hz: float,
+        activity: float = 1.0,
+        llc_accesses_per_second: float = 1.0e8,
+        crossbar_bytes_per_second: float = 0.0,
+        io_utilization: float = 1.0,
+    ) -> SoCPowerBreakdown:
+        """Power breakdown at the given core frequency and activity."""
+        check_positive("core_frequency_hz", core_frequency_hz)
+        check_fraction("activity", activity)
+        operating_point = self.core_model.operating_point(core_frequency_hz, activity)
+        core_voltage_ratio = (
+            operating_point.vdd / self.core_model.technology.nominal_vdd
+        )
+        uncore_parts = self.uncore.breakdown(
+            llc_accesses_per_second, crossbar_bytes_per_second, io_utilization
+        )
+        scale = 1.0
+        if self.uncore.voltage_scales_with_core:
+            scale = core_voltage_ratio * core_voltage_ratio
+        return SoCPowerBreakdown(
+            core_power=operating_point.total_power * self.core_count,
+            llc_power=uncore_parts["llc"] * scale,
+            crossbar_power=uncore_parts["crossbar"] * scale,
+            peripheral_power=uncore_parts["peripherals"] * scale,
+        )
+
+    def core_power(self, core_frequency_hz: float, activity: float = 1.0) -> float:
+        """Aggregate core power in watts at the given operating point."""
+        return self.core_model.chip_core_power(
+            core_frequency_hz, self.core_count, activity
+        )
+
+    def total_power(
+        self,
+        core_frequency_hz: float,
+        activity: float = 1.0,
+        llc_accesses_per_second: float = 1.0e8,
+        crossbar_bytes_per_second: float = 0.0,
+        io_utilization: float = 1.0,
+    ) -> float:
+        """Total SoC power in watts at the given operating point."""
+        return self.breakdown(
+            core_frequency_hz,
+            activity,
+            llc_accesses_per_second,
+            crossbar_bytes_per_second,
+            io_utilization,
+        ).total

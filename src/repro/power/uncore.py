@@ -1,0 +1,104 @@
+"""Uncore power aggregation.
+
+The uncore comprises, per the paper (Section II-C2):
+
+* the per-cluster LLC slices (CACTI-style, leakage dominated),
+* the per-cluster cache-coherent crossbars (~25mW each), and
+* the chip-edge I/O peripherals (~5W, McPAT / UltraSPARC T2 style),
+
+all assumed to live on a voltage/clock domain separate from the cores so
+that "their static and dynamic power consumption is not affected by the
+cores voltage/frequency point".  This constant uncore floor is what
+shifts the SoC-level efficiency optimum away from the lowest core
+frequency (Figure 3b / 4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.cache_power import CachePowerModel
+from repro.power.interconnect_power import CrossbarPowerModel
+from repro.power.peripherals import IOPeripheralPowerModel
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class UncorePowerModel:
+    """Chip uncore power: LLCs, crossbars and peripherals.
+
+    Parameters
+    ----------
+    cluster_count:
+        Number of clusters on the die (9 in the paper).
+    llc:
+        Power model of one cluster's LLC.
+    crossbar:
+        Power model of one cluster's crossbar.
+    peripherals:
+        Chip-level I/O peripheral power model.
+    voltage_scales_with_core:
+        When True the uncore is assumed to share the cores' voltage
+        domain and its power is scaled by the square of the core
+        voltage ratio -- an ablation of the paper's fixed-domain
+        assumption (Section V-C discussion).
+    """
+
+    cluster_count: int = 9
+    llc: CachePowerModel = field(default_factory=CachePowerModel)
+    crossbar: CrossbarPowerModel = field(default_factory=CrossbarPowerModel)
+    peripherals: IOPeripheralPowerModel = field(default_factory=IOPeripheralPowerModel)
+    voltage_scales_with_core: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("cluster_count", self.cluster_count)
+
+    def cluster_uncore_power(
+        self,
+        llc_accesses_per_second: float = 1.0e8,
+        crossbar_bytes_per_second: float = 0.0,
+    ) -> float:
+        """Power of one cluster's LLC + crossbar in watts."""
+        check_non_negative("llc_accesses_per_second", llc_accesses_per_second)
+        return self.llc.total_power(llc_accesses_per_second) + self.crossbar.total_power(
+            crossbar_bytes_per_second
+        )
+
+    def power(
+        self,
+        llc_accesses_per_second: float = 1.0e8,
+        crossbar_bytes_per_second: float = 0.0,
+        io_utilization: float = 1.0,
+        core_voltage_ratio: float = 1.0,
+    ) -> float:
+        """Total uncore power of the chip in watts.
+
+        ``core_voltage_ratio`` is the ratio of the core supply voltage
+        to its nominal value; it only has an effect when
+        ``voltage_scales_with_core`` is set (ablation mode).
+        """
+        check_positive("core_voltage_ratio", core_voltage_ratio)
+        total = (
+            self.cluster_count
+            * self.cluster_uncore_power(
+                llc_accesses_per_second, crossbar_bytes_per_second
+            )
+            + self.peripherals.power(io_utilization)
+        )
+        if self.voltage_scales_with_core:
+            total *= core_voltage_ratio * core_voltage_ratio
+        return total
+
+    def breakdown(
+        self,
+        llc_accesses_per_second: float = 1.0e8,
+        crossbar_bytes_per_second: float = 0.0,
+        io_utilization: float = 1.0,
+    ) -> dict:
+        """Per-component uncore power in watts."""
+        return {
+            "llc": self.cluster_count * self.llc.total_power(llc_accesses_per_second),
+            "crossbar": self.cluster_count
+            * self.crossbar.total_power(crossbar_bytes_per_second),
+            "peripherals": self.peripherals.power(io_utilization),
+        }

@@ -1,0 +1,241 @@
+"""Trace-driven simulation of one 4-core cluster.
+
+This is the detailed (slow) performance path, standing in for the
+paper's Flexus timing simulation: each core plays a synthetic trace
+through its L1s, the shared LLC (over the crossbar) and the DDR4 timing
+simulator, and the cluster reports UIPC, off-chip traffic and latency
+statistics.  The analytical interval model in
+:mod:`repro.core.performance` is the fast path used for the full design
+sweeps; the two paths share the same workload characterisations, and
+tests check that they agree on the trends that matter (UIPC rising as
+the core slows down, workload ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.system import MemorySystem
+from repro.uarch.core_model import CoreConfig, UncoreLatencies
+from repro.uarch.hierarchy import ClusterCacheHierarchy, HierarchyConfig, ServicedBy
+from repro.uarch.interconnect import CrossbarModel
+from repro.uarch.rob import ReorderBufferModel
+from repro.utils.validation import check_positive
+from repro.workloads.base import WorkloadCharacteristics
+from repro.workloads.trace_gen import SyntheticTraceGenerator
+
+
+@dataclass(frozen=True)
+class ClusterSimConfig:
+    """Configuration of one cluster simulation run."""
+
+    workload: WorkloadCharacteristics
+    frequency_hz: float = 2.0e9
+    core_count: int = 4
+    records_per_core: int = 4000
+    warmup_passes: int = 1
+    trace_seed: int = 42
+    core: CoreConfig = field(default_factory=CoreConfig)
+    uncore: UncoreLatencies = field(default_factory=UncoreLatencies)
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    crossbar: CrossbarModel = field(default_factory=CrossbarModel)
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("core_count", self.core_count)
+        check_positive("records_per_core", self.records_per_core)
+        if self.warmup_passes < 0:
+            raise ValueError("warmup_passes must be >= 0")
+
+
+@dataclass(frozen=True)
+class ClusterSimResult:
+    """Measurements produced by one cluster simulation run."""
+
+    frequency_hz: float
+    instructions: int
+    cycles: float
+    memory_read_bytes: int
+    memory_write_bytes: int
+    l1_hits: int
+    llc_hits: int
+    memory_accesses: int
+    average_memory_latency_ns: float
+
+    @property
+    def uipc(self) -> float:
+        """Aggregate user instructions per cycle of the cluster's cores."""
+        if self.cycles <= 0.0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def duration_seconds(self) -> float:
+        """Simulated wall-clock duration of the run."""
+        return self.cycles / self.frequency_hz
+
+    @property
+    def cluster_uips(self) -> float:
+        """User instructions per second of the whole cluster."""
+        if self.duration_seconds <= 0.0:
+            return 0.0
+        return self.instructions / self.duration_seconds
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Average off-chip read bandwidth in bytes/second."""
+        if self.duration_seconds <= 0.0:
+            return 0.0
+        return self.memory_read_bytes / self.duration_seconds
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Average off-chip write bandwidth in bytes/second."""
+        if self.duration_seconds <= 0.0:
+            return 0.0
+        return self.memory_write_bytes / self.duration_seconds
+
+
+class ClusterSimulator:
+    """Plays synthetic traces through the cluster's memory system."""
+
+    LINE_BYTES = 64
+
+    def __init__(self, config: ClusterSimConfig):
+        self.config = config
+        self.hierarchy = ClusterCacheHierarchy(config.hierarchy)
+        self.memory = MemorySystem()
+        self._rob = ReorderBufferModel(
+            window_size=config.core.window_size, issue_width=config.core.issue_width
+        )
+
+    # -- latency helpers ---------------------------------------------------------
+
+    def _core_cycles_per_ns(self) -> float:
+        return self.config.frequency_hz / 1.0e9
+
+    def _llc_round_trip_ns(self) -> float:
+        return self.config.uncore.llc_hit_ns + self.config.crossbar.round_trip_latency_ns()
+
+    def _memory_latency_ns(self, address: int, is_write: bool, core_cycle: float) -> float:
+        memory_clock = self.memory.timing.clock_hz
+        arrival_cycle = int(core_cycle / self.config.frequency_hz * memory_clock)
+        latency_cycles = self.memory.access(address, is_write, arrival_cycle)
+        return latency_cycles / memory_clock * 1.0e9
+
+    # -- main loop -------------------------------------------------------------------
+
+    def _warm_caches(self, generator: SyntheticTraceGenerator) -> None:
+        """Replay the measurement trace to warm L1s, LLC and directory.
+
+        The paper launches its detailed simulations from checkpoints with
+        warmed caches and branch predictors; replaying the same records
+        (same generator seed) before measuring plays the same role here.
+        """
+        for _ in range(self.config.warmup_passes):
+            for core_id in range(self.config.core_count):
+                for record in generator.records(self.config.records_per_core, core_id):
+                    if record.region == "offchip":
+                        # Compulsory DRAM misses must survive warm-up.
+                        continue
+                    self.hierarchy.access(
+                        core_id, record.address, is_write=record.is_write
+                    )
+        self.hierarchy.reset_stats()
+
+    def run(self) -> ClusterSimResult:
+        """Simulate every core's trace and aggregate the measurements."""
+        config = self.config
+        workload = config.workload
+        generator = SyntheticTraceGenerator(workload, seed=config.trace_seed)
+        self._warm_caches(generator)
+        cycles_per_ns = self._core_cycles_per_ns()
+        llc_ns = self._llc_round_trip_ns()
+
+        total_instructions = 0
+        max_cycles = 0.0
+        l1_hits = 0
+        llc_hits = 0
+        memory_accesses = 0
+        memory_read_bytes = 0
+        memory_write_bytes = 0
+        total_memory_latency_ns = 0.0
+
+        llc_overlap = self._rob.effective_mlp(
+            workload.l1_mpki, max(workload.memory_level_parallelism, 2.0)
+        )
+        memory_overlap = self._rob.effective_mlp(
+            workload.llc_mpki, workload.memory_level_parallelism
+        )
+        branch_cpi = (
+            workload.branch_fraction
+            * (1.0 - workload.branch_predictability)
+            * 14.0
+        )
+
+        # Per-core progress; cores are advanced in (simulated) time order
+        # so their DRAM requests interleave at the memory controllers the
+        # way concurrently running cores' requests would.
+        traces = [
+            generator.records(config.records_per_core, core_id)
+            for core_id in range(config.core_count)
+        ]
+        core_cycles = [0.0] * config.core_count
+        core_instructions = [0] * config.core_count
+        next_record = [0] * config.core_count
+
+        while True:
+            candidates = [
+                core_id
+                for core_id in range(config.core_count)
+                if next_record[core_id] < len(traces[core_id])
+            ]
+            if not candidates:
+                break
+            core_id = min(candidates, key=lambda candidate: core_cycles[candidate])
+            record = traces[core_id][next_record[core_id]]
+            next_record[core_id] += 1
+
+            core_instructions[core_id] += record.instruction_gap + 1
+            core_cycles[core_id] += record.instruction_gap * (
+                workload.base_cpi + branch_cpi
+            )
+
+            outcome = self.hierarchy.access(
+                core_id, record.address, is_write=record.is_write
+            )
+            if outcome.serviced_by is ServicedBy.L1:
+                l1_hits += 1
+                core_cycles[core_id] += config.core.l1_hit_cycles
+            elif outcome.serviced_by is ServicedBy.LLC:
+                llc_hits += 1
+                core_cycles[core_id] += llc_ns * cycles_per_ns / llc_overlap
+            else:
+                memory_accesses += 1
+                dram_ns = self._memory_latency_ns(
+                    record.address, record.is_write, core_cycles[core_id]
+                )
+                total_memory_latency_ns += dram_ns
+                core_cycles[core_id] += (
+                    (llc_ns + dram_ns) * cycles_per_ns / memory_overlap
+                )
+            memory_read_bytes += outcome.memory_reads * self.LINE_BYTES
+            memory_write_bytes += outcome.memory_writebacks * self.LINE_BYTES
+
+        total_instructions = sum(core_instructions)
+        max_cycles = max(core_cycles)
+
+        average_memory_latency = (
+            total_memory_latency_ns / memory_accesses if memory_accesses else 0.0
+        )
+        return ClusterSimResult(
+            frequency_hz=config.frequency_hz,
+            instructions=total_instructions,
+            cycles=max_cycles,
+            memory_read_bytes=memory_read_bytes,
+            memory_write_bytes=memory_write_bytes,
+            l1_hits=l1_hits,
+            llc_hits=llc_hits,
+            memory_accesses=memory_accesses,
+            average_memory_latency_ns=average_memory_latency,
+        )

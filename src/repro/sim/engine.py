@@ -1,0 +1,100 @@
+"""Minimal discrete-event simulation kernel.
+
+The cluster simulator advances each core independently and only needs a
+priority queue of timestamped events plus a notion of current time; this
+module provides that kernel in a reusable form (it is also used directly
+by tests exercising event ordering and by the consolidation example).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.
+
+    Events are ordered by time, then by insertion order (stable for
+    simultaneous events).  The callback receives the simulator so it can
+    schedule follow-up events.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """A time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable, label: str = "") -> Event:
+        """Schedule ``callback`` at ``time``."""
+        if time < 0.0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time=time, sequence=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("event queue is empty")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or None when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """Runs events in time order until the queue drains or a horizon hits."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.processed_events = 0
+
+    def schedule(self, delay: float, callback: Callable, label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` after the current time."""
+        if delay < 0.0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self.now + delay, callback, label)
+
+    def schedule_at(self, time: float, callback: Callable, label: str = "") -> Event:
+        """Schedule ``callback`` at absolute ``time`` (must not be in the past)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self.queue.push(time, callback, label)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the queue empties or ``until`` is reached.
+
+        Returns the simulation time at which processing stopped.
+        """
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                self.now = until
+                return self.now
+            event = self.queue.pop()
+            self.now = event.time
+            self.processed_events += 1
+            event.callback(self)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now

@@ -1,0 +1,94 @@
+"""Sample statistics and UIPC/UIPS measurement records.
+
+The paper reports performance as user instructions per cycle (UIPC) or
+per second (UIPS), "measured at a 95% confidence level and an average
+error below 2%" (Section IV).  This module provides the statistics the
+sampling harness needs to make the same statement about its estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.validation import check_positive
+
+Z_95 = 1.959963984540054
+"""Two-sided 95% quantile of the standard normal distribution."""
+
+
+def confidence_interval(
+    values: Sequence[float], z_score: float = Z_95
+) -> tuple:
+    """(mean, half_width) of the confidence interval for ``values``."""
+    if not values:
+        raise ValueError("cannot compute statistics of an empty sample")
+    count = len(values)
+    mean = sum(values) / count
+    if count == 1:
+        return mean, 0.0
+    variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    half_width = z_score * math.sqrt(variance / count)
+    return mean, half_width
+
+
+@dataclass(frozen=True)
+class SampleStatistics:
+    """Summary statistics of a measurement sample."""
+
+    count: int
+    mean: float
+    standard_deviation: float
+    confidence_half_width: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "SampleStatistics":
+        """Build statistics from raw sample values."""
+        mean, half_width = confidence_interval(values)
+        count = len(values)
+        if count > 1:
+            variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+        else:
+            variance = 0.0
+        return cls(
+            count=count,
+            mean=mean,
+            standard_deviation=math.sqrt(variance),
+            confidence_half_width=half_width,
+        )
+
+    @property
+    def relative_error(self) -> float:
+        """Confidence half-width relative to the mean."""
+        if self.mean == 0.0:
+            return 0.0
+        return abs(self.confidence_half_width / self.mean)
+
+    def meets_error_target(self, target: float = 0.02) -> bool:
+        """True when the relative error is at or below ``target`` (2% default)."""
+        return self.relative_error <= target
+
+
+@dataclass(frozen=True)
+class UipsMeasurement:
+    """A UIPC/UIPS measurement at one operating point."""
+
+    frequency_hz: float
+    uipc: float
+    core_count: int
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("uipc", self.uipc)
+        check_positive("core_count", self.core_count)
+
+    @property
+    def core_uips(self) -> float:
+        """User instructions per second of one core."""
+        return self.uipc * self.frequency_hz
+
+    @property
+    def chip_uips(self) -> float:
+        """Aggregate user instructions per second across all cores."""
+        return self.core_uips * self.core_count

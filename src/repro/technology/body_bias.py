@@ -1,0 +1,131 @@
+"""Body-bias model for UTBB FD-SOI.
+
+The paper highlights four uses of body biasing in a near-threshold
+server (Section II-A):
+
+1. operating at the best energy point for a given performance target
+   (forward body bias, FBB, lowers Vth so a lower Vdd sustains the same
+   frequency, at the cost of higher leakage);
+2. fast performance boosting (the back-bias of a 5mm^2 Cortex-A9 can be
+   switched between 0V and 1.3V in under 1 microsecond);
+3. state-retentive leakage management (reverse body bias, RBB, reduces
+   leakage by up to an order of magnitude while keeping state);
+4. variation mitigation (part of the bias range is reserved).
+
+This module models the threshold-voltage shift, the transition time of
+bias changes, and the sleep-mode leakage reduction achievable with RBB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.technology.process import ProcessTechnology
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+BIAS_TRANSITION_TIME_PER_MM2 = 0.18e-6
+"""Body-bias transition time per mm^2 of biased well area, in seconds.
+
+Calibrated so a 5mm^2 Cortex-A9 class core switches its back bias
+between 0V and 1.3V in under 1 microsecond, as reported by the STM
+28nm FD-SOI test chip the paper cites.
+"""
+
+RBB_SLEEP_LEAKAGE_REDUCTION = 10.0
+"""Leakage reduction factor achievable in the RBB state-retentive sleep
+mode ("up to an order of magnitude" in the paper)."""
+
+RBB_FULL_REDUCTION_BIAS = 2.55
+"""Reverse-bias magnitude (volts) at which the full order-of-magnitude
+leakage reduction is reached (the usable RBB range of UTBB FD-SOI)."""
+
+
+@dataclass(frozen=True)
+class BodyBiasModel:
+    """Threshold shift, transition timing and sleep-mode model.
+
+    Parameters
+    ----------
+    technology:
+        Process flavour supplying the allowed bias range and the body
+        effect coefficient (85mV/V for UTBB FD-SOI).
+    variation_reserve:
+        Fraction of the forward-bias range reserved for process/voltage/
+        temperature variation compensation (use #4 above) and therefore
+        unavailable for performance/energy trade-offs.
+    """
+
+    technology: ProcessTechnology
+    variation_reserve: float = 0.15
+
+    def __post_init__(self) -> None:
+        check_fraction("variation_reserve", self.variation_reserve)
+
+    # -- bias range ------------------------------------------------------------
+
+    @property
+    def usable_forward_bias(self) -> float:
+        """Maximum FBB (volts) available after the variation reserve."""
+        return self.technology.body_bias_max * (1.0 - self.variation_reserve)
+
+    @property
+    def usable_reverse_bias(self) -> float:
+        """Maximum RBB magnitude (volts) available after the reserve."""
+        return -self.technology.body_bias_min * (1.0 - self.variation_reserve)
+
+    def clamp(self, bias: float) -> float:
+        """Clamp ``bias`` into the usable (reserve-adjusted) range."""
+        return max(-self.usable_reverse_bias, min(self.usable_forward_bias, bias))
+
+    # -- threshold shift --------------------------------------------------------
+
+    def threshold_shift(self, bias: float) -> float:
+        """Threshold-voltage shift (volts) produced by ``bias`` volts.
+
+        Positive (forward) bias yields a negative shift (lower Vth).
+        """
+        tech = self.technology
+        if not (tech.body_bias_min - 1e-9 <= bias <= tech.body_bias_max + 1e-9):
+            raise ValueError(
+                f"bias {bias:+.2f}V outside allowed range "
+                f"[{tech.body_bias_min:+.1f}, {tech.body_bias_max:+.1f}]V"
+            )
+        return -tech.body_effect_coefficient * bias
+
+    def effective_threshold(self, bias: float) -> float:
+        """Effective Vth (volts) of the technology under ``bias``."""
+        return self.technology.threshold_voltage + self.threshold_shift(bias)
+
+    # -- transitions ------------------------------------------------------------
+
+    def transition_time(self, area_mm2: float, bias_swing: float) -> float:
+        """Time (seconds) to slew the well bias by ``bias_swing`` volts.
+
+        The transition time grows with the biased well area (well
+        capacitance) and with the voltage swing; the constant is
+        calibrated against the 5mm^2 / 1.3V / <1us data point.
+        """
+        check_positive("area_mm2", area_mm2)
+        check_non_negative("bias_swing", bias_swing)
+        reference_swing = 1.3
+        return BIAS_TRANSITION_TIME_PER_MM2 * area_mm2 * (bias_swing / reference_swing)
+
+    # -- sleep mode --------------------------------------------------------------
+
+    def sleep_leakage_fraction(self, rbb_magnitude: float | None = None) -> float:
+        """Fraction of active leakage remaining in RBB sleep mode.
+
+        The full order-of-magnitude reduction reported for UTBB FD-SOI
+        requires about :data:`RBB_FULL_REDUCTION_BIAS` volts of reverse
+        bias; smaller bias magnitudes (or technologies with a narrow
+        bias range, like bulk) interpolate geometrically, so a bulk
+        device with a +/-0.3V well range keeps most of its leakage.
+        """
+        if not self.technology.supports_reverse_body_bias:
+            return 1.0
+        available = self.usable_reverse_bias
+        magnitude = (
+            available if rbb_magnitude is None else min(abs(rbb_magnitude), available)
+        )
+        exponent = min(1.0, magnitude / RBB_FULL_REDUCTION_BIAS)
+        return RBB_SLEEP_LEAKAGE_REDUCTION ** (-exponent)

@@ -1,0 +1,104 @@
+"""Leakage power model with voltage, threshold and temperature dependence.
+
+Leakage is the quantity that ultimately limits how far near-threshold
+operation pays off: dynamic power falls roughly cubically with the
+voltage/frequency point while leakage falls only slowly, so below some
+frequency "leakage brings efficiency down" (paper, Section V-B).
+
+The model used here is a standard compact form:
+
+    P_leak(Vdd, Vth_eff, T) = P_nom
+        * exp((Vth_nom - Vth_eff) / S_vth)          -- body-bias / Vth shift
+        * (Vdd / Vdd_nom) * exp(k_v * (Vdd - Vdd_nom))  -- DIBL + supply scaling
+        * 2^((T - T_nom) / T_double)                 -- temperature
+
+``S_vth`` is an *effective* leakage slope; it is intentionally softer
+than the intrinsic subthreshold swing because a core's total leakage
+mixes body-bias-sensitive subthreshold current with gate and junction
+components that do not respond to body bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.technology.process import ProcessTechnology
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Per-core leakage power model.
+
+    Parameters
+    ----------
+    technology:
+        Process flavour providing the nominal leakage, nominal Vdd/Vth
+        and the supply-voltage sensitivity.
+    vth_slope:
+        Effective leakage slope in volts per e-fold of leakage change
+        when the effective threshold voltage shifts (body bias).
+    temperature_nominal_kelvin:
+        Temperature at which ``technology.leakage_nominal`` is quoted.
+    temperature_doubling_kelvin:
+        Temperature increase that doubles leakage.
+    """
+
+    technology: ProcessTechnology
+    vth_slope: float = 0.065
+    temperature_nominal_kelvin: float = 330.0
+    temperature_doubling_kelvin: float = 25.0
+
+    def __post_init__(self) -> None:
+        check_positive("vth_slope", self.vth_slope)
+        check_positive("temperature_nominal_kelvin", self.temperature_nominal_kelvin)
+        check_positive("temperature_doubling_kelvin", self.temperature_doubling_kelvin)
+
+    def power(
+        self,
+        vdd: float,
+        vth_eff: float | None = None,
+        temperature_kelvin: float | None = None,
+    ) -> float:
+        """Leakage power in watts of one core at the given operating point.
+
+        Parameters
+        ----------
+        vdd:
+            Supply voltage in volts.  Zero or negative voltages (power
+            gated) return zero leakage.
+        vth_eff:
+            Effective threshold voltage (after body bias).  Defaults to
+            the technology's nominal threshold.
+        temperature_kelvin:
+            Junction temperature; defaults to the nominal temperature.
+        """
+        if vdd <= 0.0:
+            return 0.0
+        tech = self.technology
+        threshold = tech.threshold_voltage if vth_eff is None else vth_eff
+        temperature = (
+            self.temperature_nominal_kelvin
+            if temperature_kelvin is None
+            else temperature_kelvin
+        )
+
+        vth_factor = math.exp((tech.threshold_voltage - threshold) / self.vth_slope)
+        supply_factor = (vdd / tech.nominal_vdd) * math.exp(
+            tech.leakage_voltage_exponent * (vdd - tech.nominal_vdd)
+        )
+        temperature_factor = 2.0 ** (
+            (temperature - self.temperature_nominal_kelvin)
+            / self.temperature_doubling_kelvin
+        )
+        return tech.leakage_nominal * vth_factor * supply_factor * temperature_factor
+
+    def sleep_power(self, vdd: float, sleep_leakage_fraction: float) -> float:
+        """Leakage power in the RBB state-retentive sleep mode.
+
+        ``sleep_leakage_fraction`` comes from
+        :meth:`repro.technology.body_bias.BodyBiasModel.sleep_leakage_fraction`.
+        """
+        return self.power(vdd) * sleep_leakage_fraction

@@ -1,0 +1,168 @@
+"""Named process technology flavours and their electrical parameters.
+
+The paper compares three flavours of a 28nm node for a Cortex-A57 class
+core (Figure 1):
+
+* **bulk** -- conventional 28nm bulk CMOS.  Higher threshold voltage,
+  no useful body-bias range, and SRAM timing failures below ~0.6V.
+* **FD-SOI** -- 28nm UTBB FD-SOI with flip-well (LVT) transistors.
+  Lower effective threshold, functional down to 0.5V, and a wide forward
+  body-bias (FBB) range of 0V..+3V.
+* **FD-SOI + FBB** -- the same FD-SOI process with forward body bias
+  applied; in this library the FBB amount is either fixed or chosen per
+  operating point to minimise power (see
+  :class:`repro.technology.a57_model.CortexA57PowerModel`).
+
+The numerical values are calibration parameters chosen so that the
+resulting V(f) / P(f) curves reproduce the anchor points reported in the
+paper (see ``docs`` strings in :mod:`repro.technology.a57_model`); they
+are not foundry data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class ProcessTechnology:
+    """Electrical parameters of one process flavour.
+
+    Attributes
+    ----------
+    name:
+        Human-readable flavour name (``"bulk-28nm"`` etc.).
+    threshold_voltage:
+        Nominal threshold voltage Vth in volts, at zero body bias.
+    nominal_vdd:
+        Nominal (maximum rated) supply voltage in volts.
+    min_functional_vdd:
+        Lowest supply voltage at which the core (including its L1 SRAM)
+        is functional.  The paper reports timing failures at 0.5V for
+        bulk and functionality down to 0.5V for FD-SOI.
+    drive_factor:
+        Technology drive-strength constant ``K`` of the transregional
+        delay model, in Hz*V (frequency = K * g(Vdd, Vth) / Vdd).
+    subthreshold_slope_factor:
+        Ideality factor ``n`` of the subthreshold slope (dimensionless).
+    body_bias_min / body_bias_max:
+        Allowed body-bias range in volts (negative = reverse body bias).
+    body_effect_coefficient:
+        Threshold-voltage shift per volt of body bias, in V/V.  The
+        paper reports 85mV of Vth shift per 1V of bias for UTBB FD-SOI.
+    leakage_nominal:
+        Per-core leakage power in watts at ``nominal_vdd``, nominal Vth,
+        and reference temperature.
+    leakage_voltage_exponent:
+        Sensitivity of leakage to supply voltage (DIBL + gate leakage),
+        expressed as an exponential coefficient per volt.
+    """
+
+    name: str
+    threshold_voltage: float
+    nominal_vdd: float
+    min_functional_vdd: float
+    drive_factor: float
+    subthreshold_slope_factor: float
+    body_bias_min: float
+    body_bias_max: float
+    body_effect_coefficient: float
+    leakage_nominal: float
+    leakage_voltage_exponent: float
+
+    def __post_init__(self) -> None:
+        check_positive("threshold_voltage", self.threshold_voltage)
+        check_positive("nominal_vdd", self.nominal_vdd)
+        check_positive("min_functional_vdd", self.min_functional_vdd)
+        check_positive("drive_factor", self.drive_factor)
+        check_positive("subthreshold_slope_factor", self.subthreshold_slope_factor)
+        check_positive("leakage_nominal", self.leakage_nominal)
+        check_in_range(
+            "min_functional_vdd", self.min_functional_vdd, 0.2, self.nominal_vdd
+        )
+        if self.body_bias_min > self.body_bias_max:
+            raise ValueError("body_bias_min must be <= body_bias_max")
+
+    @property
+    def supports_forward_body_bias(self) -> bool:
+        """True when the flavour exposes a usable FBB range."""
+        return self.body_bias_max > 0.0
+
+    @property
+    def supports_reverse_body_bias(self) -> bool:
+        """True when the flavour exposes a usable RBB range."""
+        return self.body_bias_min < 0.0
+
+    def with_name(self, name: str) -> "ProcessTechnology":
+        """Return a copy of this technology with a different name."""
+        return replace(self, name=name)
+
+
+# Calibration notes
+# -----------------
+# The drive factors are chosen so that:
+#   * FD-SOI reaches ~3.5GHz at 1.3V and ~100-150MHz at 0.5V,
+#   * bulk reaches ~3.0GHz at 1.35V and is below FD-SOI at every voltage,
+#   * FD-SOI with ~+1.5V FBB exceeds 500MHz at 0.5V,
+# matching the qualitative anchors in Figure 1 of the paper.
+
+BULK_28NM = ProcessTechnology(
+    name="bulk-28nm",
+    threshold_voltage=0.52,
+    nominal_vdd=1.35,
+    min_functional_vdd=0.60,
+    drive_factor=5.88e9,
+    subthreshold_slope_factor=1.70,
+    body_bias_min=-0.3,
+    body_bias_max=0.3,
+    body_effect_coefficient=0.025,
+    leakage_nominal=0.22,
+    leakage_voltage_exponent=2.0,
+)
+
+FDSOI_28NM = ProcessTechnology(
+    name="fdsoi-28nm",
+    threshold_voltage=0.42,
+    nominal_vdd=1.30,
+    min_functional_vdd=0.50,
+    drive_factor=5.88e9,
+    subthreshold_slope_factor=1.35,
+    body_bias_min=-3.0,
+    body_bias_max=3.0,
+    body_effect_coefficient=0.085,
+    leakage_nominal=0.10,
+    leakage_voltage_exponent=2.0,
+)
+
+FDSOI_28NM_FBB = FDSOI_28NM.with_name("fdsoi-28nm-fbb")
+"""FD-SOI flavour used when forward body bias is applied.
+
+The electrical parameters are identical to :data:`FDSOI_28NM`; the
+difference is purely in how the operating point is chosen (a non-zero
+body bias is allowed / optimised).
+"""
+
+
+TECHNOLOGIES = {
+    BULK_28NM.name: BULK_28NM,
+    FDSOI_28NM.name: FDSOI_28NM,
+    FDSOI_28NM_FBB.name: FDSOI_28NM_FBB,
+}
+"""Registry of the technology flavours studied in the paper."""
+
+
+def technology_by_name(name: str) -> ProcessTechnology:
+    """Look up a technology flavour by name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not one of the registered flavours.
+    """
+    try:
+        return TECHNOLOGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGIES))
+        raise KeyError(f"unknown technology {name!r}; known flavours: {known}") from None

@@ -1,0 +1,107 @@
+"""Core-generation scaling and DVFS calibration anchors.
+
+The paper builds its Cortex-A57 model indirectly: it starts from a
+measured Cortex-A9 implementation in STM 28nm bulk and FD-SOI, then
+scales it to an A57 using the frequency ratios observed across the
+Samsung Exynos processor family at the same voltage (the A57 is on
+average 1.17x faster than the A9, the A53 1.08x), and uses the Exynos
+5433 DVFS table for active/static energy-per-cycle anchors.
+
+This module encodes those published anchors so the calibrated
+:class:`repro.technology.a57_model.CortexA57PowerModel` can be traced
+back to them and so tests can check the scaling arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.interpolation import PiecewiseLinear, monotone_increasing
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DVFSAnchor:
+    """One operating point of a published DVFS table."""
+
+    frequency_hz: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("voltage", self.voltage)
+
+
+# Public approximate DVFS operating points of the Samsung Exynos 5433
+# big (Cortex-A57) cluster, used by the paper as voltage/frequency
+# calibration anchors ("The frequency/voltage information can be
+# extracted from the Linux CPUFreq drivers").
+EXYNOS_5433_DVFS_TABLE: tuple = (
+    DVFSAnchor(frequency_hz=0.5e9, voltage=0.80),
+    DVFSAnchor(frequency_hz=0.7e9, voltage=0.85),
+    DVFSAnchor(frequency_hz=0.9e9, voltage=0.90),
+    DVFSAnchor(frequency_hz=1.1e9, voltage=0.95),
+    DVFSAnchor(frequency_hz=1.3e9, voltage=1.00),
+    DVFSAnchor(frequency_hz=1.5e9, voltage=1.05),
+    DVFSAnchor(frequency_hz=1.7e9, voltage=1.10),
+    DVFSAnchor(frequency_hz=1.9e9, voltage=1.20),
+)
+
+
+@dataclass(frozen=True)
+class CoreGenerationScaling:
+    """Frequency scaling between Cortex-A9 and newer ARM cores.
+
+    The ratios capture the pipeline-length / critical-path differences
+    the paper extracts by comparing voltage-to-frequency ratios across
+    the Exynos family: at the same voltage an A57 clocks on average
+    1.17x higher than an A9 and an A53 1.08x higher.
+    """
+
+    a57_over_a9: float = 1.17
+    a53_over_a9: float = 1.08
+
+    def __post_init__(self) -> None:
+        check_positive("a57_over_a9", self.a57_over_a9)
+        check_positive("a53_over_a9", self.a53_over_a9)
+
+    def a9_to_a57_frequency(self, frequency_hz: float) -> float:
+        """Frequency an A57 reaches at the voltage where an A9 reaches ``frequency_hz``."""
+        return frequency_hz * self.a57_over_a9
+
+    def a57_to_a9_frequency(self, frequency_hz: float) -> float:
+        """Inverse of :meth:`a9_to_a57_frequency`."""
+        return frequency_hz / self.a57_over_a9
+
+    def a9_to_a53_frequency(self, frequency_hz: float) -> float:
+        """Frequency an A53 reaches at the voltage where an A9 reaches ``frequency_hz``."""
+        return frequency_hz * self.a53_over_a9
+
+    def scale_dvfs_table(
+        self, anchors: Sequence[DVFSAnchor], ratio: float
+    ) -> tuple:
+        """Scale the frequency axis of a DVFS table by ``ratio``."""
+        check_positive("ratio", ratio)
+        return tuple(
+            DVFSAnchor(frequency_hz=anchor.frequency_hz * ratio, voltage=anchor.voltage)
+            for anchor in anchors
+        )
+
+
+def dvfs_voltage_curve(anchors: Sequence[DVFSAnchor]) -> PiecewiseLinear:
+    """Build a voltage(frequency) piecewise-linear curve from DVFS anchors.
+
+    Raises
+    ------
+    ValueError
+        If the anchors are not sorted by strictly increasing frequency
+        or the voltages are not non-decreasing (a malformed table).
+    """
+    frequencies = [anchor.frequency_hz for anchor in anchors]
+    voltages = [anchor.voltage for anchor in anchors]
+    if not monotone_increasing(frequencies, strict=True):
+        raise ValueError("DVFS anchors must have strictly increasing frequencies")
+    if not monotone_increasing(voltages):
+        raise ValueError("DVFS anchor voltages must be non-decreasing")
+    return PiecewiseLinear(frequencies, voltages)

@@ -1,0 +1,54 @@
+"""Microarchitecture models (Flexus timing-model substitute).
+
+The paper's performance numbers come from Flexus timing models of
+out-of-order cores, caches, on-chip protocol controllers, interconnects
+and DRAM.  This package provides the equivalent building blocks:
+
+* :mod:`repro.uarch.cache` -- set-associative write-back caches with LRU
+  replacement and full statistics.
+* :mod:`repro.uarch.hierarchy` -- the per-core L1I/L1D and per-cluster
+  shared LLC arrangement of the paper's cluster (32KB 2-way L1s, 4MB
+  16-way LLC).
+* :mod:`repro.uarch.coherence` -- a MESI-style directory tracking sharers
+  of LLC lines inside one cluster.
+* :mod:`repro.uarch.interconnect` -- the cluster crossbar latency /
+  contention model.
+* :mod:`repro.uarch.branch` -- branch predictor accuracy / penalty model.
+* :mod:`repro.uarch.rob` -- instruction-window (ROB) based memory-level
+  parallelism model.
+* :mod:`repro.uarch.core_model` -- the interval model of a 3-way OoO
+  Cortex-A57-class core producing UIPC as a function of core frequency
+  and memory-system latencies.
+"""
+
+from repro.uarch.cache import CacheConfig, CacheStats, SetAssociativeCache
+from repro.uarch.hierarchy import ClusterCacheHierarchy, HierarchyConfig, AccessResult
+from repro.uarch.coherence import CoherenceDirectory, CoherenceStats, LineState
+from repro.uarch.interconnect import CrossbarModel
+from repro.uarch.branch import BranchPredictorModel
+from repro.uarch.rob import ReorderBufferModel
+from repro.uarch.core_model import (
+    CoreConfig,
+    CpiStack,
+    IntervalCoreModel,
+    UncoreLatencies,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "SetAssociativeCache",
+    "ClusterCacheHierarchy",
+    "HierarchyConfig",
+    "AccessResult",
+    "CoherenceDirectory",
+    "CoherenceStats",
+    "LineState",
+    "CrossbarModel",
+    "BranchPredictorModel",
+    "ReorderBufferModel",
+    "CoreConfig",
+    "CpiStack",
+    "IntervalCoreModel",
+    "UncoreLatencies",
+]

@@ -1,0 +1,65 @@
+"""Branch predictor accuracy and misprediction-penalty model.
+
+The interval core model charges a CPI component for branch
+mispredictions:
+
+    cpi_branch = branch_fraction * (1 - accuracy) * penalty / width_factor
+
+where the penalty is the pipeline refill depth of the 3-way OoO
+Cortex-A57-class core.  The paper's simulations launch from checkpoints
+with warmed branch predictors, so we model the steady-state accuracy of
+a warmed predictor as a per-workload characteristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class BranchPredictorModel:
+    """Warmed branch predictor of an A57-class front end.
+
+    Parameters
+    ----------
+    base_accuracy:
+        Prediction accuracy on a well-behaved control-flow profile.
+    misprediction_penalty_cycles:
+        Pipeline refill penalty in core cycles.
+    """
+
+    base_accuracy: float = 0.95
+    misprediction_penalty_cycles: float = 14.0
+
+    def __post_init__(self) -> None:
+        check_fraction("base_accuracy", self.base_accuracy)
+        check_positive(
+            "misprediction_penalty_cycles", self.misprediction_penalty_cycles
+        )
+
+    def accuracy(self, workload_branch_predictability: float = 1.0) -> float:
+        """Effective accuracy for a workload.
+
+        ``workload_branch_predictability`` of 1.0 keeps the base
+        accuracy; lower values (hard-to-predict server code) scale the
+        *miss* rate up proportionally.
+        """
+        check_fraction(
+            "workload_branch_predictability", workload_branch_predictability
+        )
+        miss_rate = (1.0 - self.base_accuracy) * (
+            2.0 - workload_branch_predictability
+        )
+        return max(0.0, 1.0 - miss_rate)
+
+    def cpi_contribution(
+        self,
+        branch_fraction: float,
+        workload_branch_predictability: float = 1.0,
+    ) -> float:
+        """CPI added by branch mispredictions for the given mix."""
+        check_fraction("branch_fraction", branch_fraction)
+        miss_rate = 1.0 - self.accuracy(workload_branch_predictability)
+        return branch_fraction * miss_rate * self.misprediction_penalty_cycles

@@ -1,0 +1,190 @@
+"""Set-associative cache model with LRU replacement.
+
+Used for the per-core L1 instruction/data caches (32KB, 2-way) and the
+per-cluster LLC (4MB, 16-way, 4 banks) of the paper's cluster
+organisation.  The model is functional (hit/miss/writeback behaviour and
+statistics); access latencies are applied by the core model and the
+cluster simulator, because L1s run on the core clock while the LLC sits
+on the fixed uncore clock domain.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.utils.units import KB
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    capacity_bytes: int = 32 * KB
+    associativity: int = 2
+    line_bytes: int = 64
+    banks: int = 1
+    write_back: bool = True
+    write_allocate: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("associativity", self.associativity)
+        check_positive("line_bytes", self.line_bytes)
+        check_positive("banks", self.banks)
+        if self.capacity_bytes % (self.associativity * self.line_bytes):
+            raise ValueError(
+                "capacity must be a multiple of associativity * line size"
+            )
+        if self.sets < 1:
+            raise ValueError("cache must have at least one set")
+
+    @property
+    def sets(self) -> int:
+        """Number of sets."""
+        return self.capacity_bytes // (self.associativity * self.line_bytes)
+
+    @property
+    def lines(self) -> int:
+        """Total number of lines."""
+        return self.capacity_bytes // self.line_bytes
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters of one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that miss."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction given an instruction count."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.misses / instructions
+
+
+@dataclass
+class _Line:
+    """Cache-line metadata."""
+
+    tag: int
+    dirty: bool = False
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate set-associative cache with LRU."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        # One ordered dict per set: maps tag -> line, ordered by recency
+        # (last item = most recently used).
+        self._sets: Dict[int, OrderedDict] = {}
+
+    # -- address helpers ---------------------------------------------------------
+
+    def _index_and_tag(self, address: int) -> tuple:
+        line_address = address // self.config.line_bytes
+        index = line_address % self.config.sets
+        tag = line_address // self.config.sets
+        return index, tag
+
+    def line_address(self, address: int) -> int:
+        """Address of the cache line containing ``address``."""
+        return (address // self.config.line_bytes) * self.config.line_bytes
+
+    def _reconstruct_address(self, index: int, tag: int) -> int:
+        line_address = tag * self.config.sets + index
+        return line_address * self.config.line_bytes
+
+    # -- access paths --------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> "AccessOutcome":
+        """Access ``address``; returns hit/miss and any dirty eviction."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        self.stats.accesses += 1
+        index, tag = self._index_and_tag(address)
+        cache_set = self._sets.setdefault(index, OrderedDict())
+
+        if tag in cache_set:
+            self.stats.hits += 1
+            cache_set.move_to_end(tag)
+            if is_write:
+                if self.config.write_back:
+                    cache_set[tag].dirty = True
+                else:
+                    self.stats.writebacks += 1
+            return AccessOutcome(hit=True, evicted_dirty_address=None)
+
+        self.stats.misses += 1
+        if is_write and not self.config.write_allocate:
+            self.stats.writebacks += 1
+            return AccessOutcome(hit=False, evicted_dirty_address=None)
+
+        evicted_dirty: Optional[int] = None
+        if len(cache_set) >= self.config.associativity:
+            victim_tag, victim_line = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_line.dirty:
+                self.stats.writebacks += 1
+                evicted_dirty = self._reconstruct_address(index, victim_tag)
+        cache_set[tag] = _Line(tag=tag, dirty=is_write and self.config.write_back)
+        return AccessOutcome(hit=False, evicted_dirty_address=evicted_dirty)
+
+    def contains(self, address: int) -> bool:
+        """True when the line holding ``address`` is resident (no side effects)."""
+        index, tag = self._index_and_tag(address)
+        return tag in self._sets.get(index, {})
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line holding ``address``; returns True if it was present."""
+        index, tag = self._index_and_tag(address)
+        cache_set = self._sets.get(index)
+        if cache_set and tag in cache_set:
+            del cache_set[tag]
+            return True
+        return False
+
+    def reset_stats(self) -> None:
+        """Zero the statistics counters (content is preserved)."""
+        self.stats = CacheStats()
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(cache_set) for cache_set in self._sets.values())
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one cache access."""
+
+    hit: bool
+    evicted_dirty_address: Optional[int]
+
+    @property
+    def caused_writeback(self) -> bool:
+        """True when the access evicted a dirty line."""
+        return self.evicted_dirty_address is not None

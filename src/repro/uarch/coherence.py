@@ -1,0 +1,133 @@
+"""MESI-style coherence directory for one cluster.
+
+Each cluster's LLC keeps its four cores' L1 caches coherent over the
+crossbar.  The directory tracks, per LLC line, which cores may hold the
+line and whether one of them holds it modified, and counts the
+coherence actions (invalidations, cache-to-cache transfers, writebacks
+forced by downgrades).  The cluster simulator uses these counts to size
+crossbar traffic; the protocol detail is deliberately minimal -- enough
+to capture sharing behaviour, not a verification-grade protocol model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+class LineState(enum.Enum):
+    """Directory-visible state of a line."""
+
+    INVALID = "invalid"
+    SHARED = "shared"
+    MODIFIED = "modified"
+
+
+@dataclass
+class CoherenceStats:
+    """Coherence action counters."""
+
+    invalidations: int = 0
+    cache_to_cache_transfers: int = 0
+    downgrade_writebacks: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+
+    @property
+    def coherence_messages(self) -> int:
+        """Total coherence messages exchanged over the crossbar."""
+        return (
+            self.invalidations
+            + self.cache_to_cache_transfers
+            + self.downgrade_writebacks
+        )
+
+
+@dataclass
+class _DirectoryEntry:
+    state: LineState = LineState.INVALID
+    sharers: Set[int] = field(default_factory=set)
+    owner: int | None = None
+
+
+class CoherenceDirectory:
+    """Tracks sharers/owner of LLC lines within one cluster."""
+
+    def __init__(self, core_count: int = 4):
+        if core_count <= 0:
+            raise ValueError(f"core_count must be positive, got {core_count}")
+        self.core_count = core_count
+        self.stats = CoherenceStats()
+        self._entries: Dict[int, _DirectoryEntry] = {}
+
+    def _entry(self, line_address: int) -> _DirectoryEntry:
+        return self._entries.setdefault(line_address, _DirectoryEntry())
+
+    def _check_core(self, core_id: int) -> None:
+        if not (0 <= core_id < self.core_count):
+            raise ValueError(
+                f"core_id {core_id} outside [0, {self.core_count})"
+            )
+
+    def read(self, core_id: int, line_address: int) -> bool:
+        """Record a read by ``core_id``.
+
+        Returns True when the data came from another core's cache
+        (cache-to-cache transfer), False when it came from the LLC or
+        memory.
+        """
+        self._check_core(core_id)
+        self.stats.read_requests += 1
+        entry = self._entry(line_address)
+        transferred = False
+        if entry.state is LineState.MODIFIED and entry.owner != core_id:
+            # Owner must write back and downgrade to shared.
+            self.stats.downgrade_writebacks += 1
+            self.stats.cache_to_cache_transfers += 1
+            transferred = True
+            entry.sharers.add(entry.owner)
+            entry.owner = None
+            entry.state = LineState.SHARED
+        entry.sharers.add(core_id)
+        if entry.state is LineState.INVALID:
+            entry.state = LineState.SHARED
+        return transferred
+
+    def write(self, core_id: int, line_address: int) -> int:
+        """Record a write by ``core_id``; returns invalidations sent."""
+        self._check_core(core_id)
+        self.stats.write_requests += 1
+        entry = self._entry(line_address)
+        invalidations = 0
+        if entry.state is LineState.MODIFIED and entry.owner != core_id:
+            self.stats.cache_to_cache_transfers += 1
+            invalidations += 1
+        for sharer in list(entry.sharers):
+            if sharer != core_id:
+                invalidations += 1
+        if invalidations:
+            self.stats.invalidations += invalidations
+        entry.sharers = {core_id}
+        entry.owner = core_id
+        entry.state = LineState.MODIFIED
+        return invalidations
+
+    def evict(self, line_address: int) -> None:
+        """Drop the directory entry when the LLC evicts the line."""
+        self._entries.pop(line_address, None)
+
+    def sharers(self, line_address: int) -> Set[int]:
+        """Current sharer set of a line (empty when untracked)."""
+        entry = self._entries.get(line_address)
+        if entry is None:
+            return set()
+        result = set(entry.sharers)
+        if entry.owner is not None:
+            result.add(entry.owner)
+        return result
+
+    def state(self, line_address: int) -> LineState:
+        """Current directory state of a line."""
+        entry = self._entries.get(line_address)
+        return entry.state if entry is not None else LineState.INVALID

@@ -1,0 +1,192 @@
+"""Interval (CPI-stack) model of a 3-way out-of-order Cortex-A57 core.
+
+The study needs one number per (workload, core frequency) pair: the
+user-instructions-per-cycle (UIPC) the core sustains, from which UIPS,
+request latency scaling and efficiency are derived.  An interval model
+captures the mechanism that matters for the NTC trade-off: memory and
+uncore latencies are fixed in *nanoseconds* (the LLC and DRAM do not
+slow down with the cores), so their cost in *core cycles* shrinks as the
+core frequency drops, and memory-bound workloads lose much less
+throughput than the frequency reduction alone would suggest.
+
+The CPI stack is::
+
+    cpi_total = cpi_base                      (issue/dependency limited)
+              + cpi_branch                    (mispredictions)
+              + cpi_llc     (L1 misses that hit the LLC, partly hidden)
+              + cpi_memory  (LLC misses to DRAM, partly hidden by MLP)
+
+with the hiding factors provided by the instruction-window model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uarch.branch import BranchPredictorModel
+from repro.uarch.interconnect import CrossbarModel
+from repro.uarch.rob import ReorderBufferModel
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Microarchitectural parameters of the modelled core."""
+
+    issue_width: int = 3
+    window_size: int = 128
+    l1_hit_cycles: float = 2.0
+    frequency_nominal_hz: float = 2.0e9
+
+    def __post_init__(self) -> None:
+        check_positive("issue_width", self.issue_width)
+        check_positive("window_size", self.window_size)
+        check_positive("l1_hit_cycles", self.l1_hit_cycles)
+        check_positive("frequency_nominal_hz", self.frequency_nominal_hz)
+
+
+@dataclass(frozen=True)
+class UncoreLatencies:
+    """Latencies of the fixed-clock uncore and memory, in nanoseconds."""
+
+    llc_hit_ns: float = 10.0
+    memory_ns: float = 70.0
+
+    def __post_init__(self) -> None:
+        check_positive("llc_hit_ns", self.llc_hit_ns)
+        check_positive("memory_ns", self.memory_ns)
+
+    def with_memory_latency(self, memory_ns: float) -> "UncoreLatencies":
+        """Copy with a different DRAM latency (fed by the DRAM simulator)."""
+        return UncoreLatencies(llc_hit_ns=self.llc_hit_ns, memory_ns=memory_ns)
+
+
+@dataclass(frozen=True)
+class CpiStack:
+    """Per-component cycles-per-instruction breakdown."""
+
+    base: float
+    branch: float
+    llc: float
+    memory: float
+
+    @property
+    def total(self) -> float:
+        """Total CPI."""
+        return self.base + self.branch + self.llc + self.memory
+
+    @property
+    def uipc(self) -> float:
+        """User instructions per cycle."""
+        return 1.0 / self.total
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """Fraction of cycles spent waiting on the LLC and DRAM."""
+        return (self.llc + self.memory) / self.total
+
+
+@dataclass(frozen=True)
+class IntervalCoreModel:
+    """Interval performance model of one core.
+
+    Parameters
+    ----------
+    config:
+        Core microarchitecture parameters.
+    branch_predictor:
+        Misprediction penalty model.
+    crossbar:
+        Cluster crossbar model; its round-trip latency is added to the
+        LLC hit latency (both live on the uncore clock domain).
+    """
+
+    config: CoreConfig = field(default_factory=CoreConfig)
+    branch_predictor: BranchPredictorModel = field(default_factory=BranchPredictorModel)
+    crossbar: CrossbarModel = field(default_factory=CrossbarModel)
+
+    def _reorder_buffer(self) -> ReorderBufferModel:
+        return ReorderBufferModel(
+            window_size=self.config.window_size, issue_width=self.config.issue_width
+        )
+
+    def cpi_stack(
+        self,
+        frequency_hz: float,
+        base_cpi: float,
+        branch_fraction: float,
+        branch_predictability: float,
+        l1_mpki: float,
+        llc_mpki: float,
+        memory_level_parallelism: float,
+        uncore: UncoreLatencies | None = None,
+        cluster_llc_transfers_per_second: float = 0.0,
+    ) -> CpiStack:
+        """Compute the CPI stack at ``frequency_hz`` for one workload.
+
+        Parameters
+        ----------
+        frequency_hz:
+            Core clock frequency.
+        base_cpi:
+            Cycles per instruction with a perfect memory system beyond
+            the L1 (dependencies, issue width, functional units).
+        branch_fraction / branch_predictability:
+            Control-flow characteristics of the workload.
+        l1_mpki:
+            L1 data+instruction misses per kilo-instruction (total).
+        llc_mpki:
+            LLC misses per kilo-instruction (off-chip accesses); must
+            not exceed ``l1_mpki``.
+        memory_level_parallelism:
+            Intrinsic overlap the workload's miss stream allows.
+        uncore:
+            Fixed-domain latencies; defaults to the paper configuration.
+        cluster_llc_transfers_per_second:
+            Cluster-level LLC traffic used for crossbar contention.
+        """
+        check_positive("frequency_hz", frequency_hz)
+        check_positive("base_cpi", base_cpi)
+        check_non_negative("l1_mpki", l1_mpki)
+        check_non_negative("llc_mpki", llc_mpki)
+        if llc_mpki > l1_mpki + 1e-9:
+            raise ValueError("llc_mpki cannot exceed l1_mpki")
+        latencies = uncore or UncoreLatencies()
+
+        cycles_per_ns = frequency_hz / 1.0e9
+        llc_round_trip_ns = latencies.llc_hit_ns + self.crossbar.round_trip_latency_ns(
+            cluster_llc_transfers_per_second
+        )
+        llc_hit_cycles = llc_round_trip_ns * cycles_per_ns
+        memory_cycles = (latencies.memory_ns + llc_round_trip_ns) * cycles_per_ns
+
+        reorder_buffer = self._reorder_buffer()
+        llc_hits_per_ki = max(0.0, l1_mpki - llc_mpki)
+
+        cpi_branch = self.branch_predictor.cpi_contribution(
+            branch_fraction, branch_predictability
+        )
+        # L1 misses that hit in the LLC are short enough that the window
+        # hides them well; treat their parallelism as the workload MLP
+        # relaxed by the issue window.
+        exposed_llc = reorder_buffer.exposed_miss_latency(
+            llc_hit_cycles, l1_mpki, max(memory_level_parallelism, 2.0)
+        )
+        exposed_memory = reorder_buffer.exposed_miss_latency(
+            memory_cycles, llc_mpki, memory_level_parallelism
+        )
+
+        return CpiStack(
+            base=base_cpi,
+            branch=cpi_branch,
+            llc=llc_hits_per_ki / 1000.0 * exposed_llc,
+            memory=llc_mpki / 1000.0 * exposed_memory,
+        )
+
+    def uipc(self, frequency_hz: float, **characteristics) -> float:
+        """User instructions per cycle at ``frequency_hz`` (see cpi_stack)."""
+        return self.cpi_stack(frequency_hz, **characteristics).uipc
+
+    def uips(self, frequency_hz: float, **characteristics) -> float:
+        """User instructions per second of one core at ``frequency_hz``."""
+        return self.uipc(frequency_hz, **characteristics) * frequency_hz

@@ -1,0 +1,166 @@
+"""Cluster cache hierarchy: per-core L1s and a shared LLC.
+
+The paper's cluster couples four Cortex-A57 cores, each with 32KB 2-way
+L1 instruction and data caches, to a unified 4MB 16-way LLC with four
+banks over a cache-coherent crossbar (Section IV).  This module wires
+the functional cache models together with the coherence directory and
+reports, per access, which level served it and whether memory traffic
+(fill and/or dirty writeback) was generated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.uarch.cache import CacheConfig, SetAssociativeCache
+from repro.uarch.coherence import CoherenceDirectory
+from repro.utils.units import KB, MB
+from repro.utils.validation import check_positive
+
+
+class ServicedBy(enum.Enum):
+    """Cache level that satisfied an access."""
+
+    L1 = "l1"
+    LLC = "llc"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one memory reference through the hierarchy."""
+
+    serviced_by: ServicedBy
+    memory_reads: int
+    memory_writebacks: int
+    coherence_invalidations: int = 0
+
+    @property
+    def is_llc_miss(self) -> bool:
+        """True when the access had to go to DRAM."""
+        return self.serviced_by is ServicedBy.MEMORY
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry of the paper's cluster hierarchy."""
+
+    core_count: int = 4
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(capacity_bytes=32 * KB, associativity=2)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(capacity_bytes=32 * KB, associativity=2)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            capacity_bytes=4 * MB, associativity=16, banks=4
+        )
+    )
+
+    def __post_init__(self) -> None:
+        check_positive("core_count", self.core_count)
+
+
+class ClusterCacheHierarchy:
+    """Functional model of one cluster's caches and coherence."""
+
+    def __init__(self, config: HierarchyConfig | None = None):
+        self.config = config or HierarchyConfig()
+        self.l1i: List[SetAssociativeCache] = [
+            SetAssociativeCache(self.config.l1i, name=f"l1i-{core}")
+            for core in range(self.config.core_count)
+        ]
+        self.l1d: List[SetAssociativeCache] = [
+            SetAssociativeCache(self.config.l1d, name=f"l1d-{core}")
+            for core in range(self.config.core_count)
+        ]
+        self.llc = SetAssociativeCache(self.config.llc, name="llc")
+        self.directory = CoherenceDirectory(core_count=self.config.core_count)
+
+    # -- access path ---------------------------------------------------------------
+
+    def access(
+        self,
+        core_id: int,
+        address: int,
+        is_write: bool = False,
+        is_instruction: bool = False,
+    ) -> AccessResult:
+        """Run one reference from ``core_id`` through L1 -> LLC -> memory."""
+        if not (0 <= core_id < self.config.core_count):
+            raise ValueError(
+                f"core_id {core_id} outside [0, {self.config.core_count})"
+            )
+        l1 = self.l1i[core_id] if is_instruction else self.l1d[core_id]
+        line_address = self.llc.line_address(address)
+
+        invalidations = 0
+        if is_write and not is_instruction:
+            invalidations = self.directory.write(core_id, line_address)
+            if invalidations:
+                for other_core, cache in enumerate(self.l1d):
+                    if other_core != core_id:
+                        cache.invalidate(address)
+        elif not is_instruction:
+            self.directory.read(core_id, line_address)
+
+        l1_outcome = l1.access(address, is_write=is_write)
+        if l1_outcome.hit:
+            return AccessResult(
+                serviced_by=ServicedBy.L1,
+                memory_reads=0,
+                memory_writebacks=0,
+                coherence_invalidations=invalidations,
+            )
+
+        memory_reads = 0
+        memory_writebacks = 0
+
+        # L1 victim writes back into the LLC (stays on chip).
+        if l1_outcome.evicted_dirty_address is not None:
+            llc_writeback = self.llc.access(
+                l1_outcome.evicted_dirty_address, is_write=True
+            )
+            if llc_writeback.evicted_dirty_address is not None:
+                memory_writebacks += 1
+                self.directory.evict(
+                    self.llc.line_address(llc_writeback.evicted_dirty_address)
+                )
+
+        llc_outcome = self.llc.access(address, is_write=False)
+        if llc_outcome.evicted_dirty_address is not None:
+            memory_writebacks += 1
+            self.directory.evict(
+                self.llc.line_address(llc_outcome.evicted_dirty_address)
+            )
+
+        if llc_outcome.hit:
+            serviced_by = ServicedBy.LLC
+        else:
+            serviced_by = ServicedBy.MEMORY
+            memory_reads += 1
+
+        return AccessResult(
+            serviced_by=serviced_by,
+            memory_reads=memory_reads,
+            memory_writebacks=memory_writebacks,
+            coherence_invalidations=invalidations,
+        )
+
+    # -- statistics ------------------------------------------------------------------
+
+    def l1d_misses(self) -> int:
+        """Total data-L1 misses across the cluster's cores."""
+        return sum(cache.stats.misses for cache in self.l1d)
+
+    def llc_misses(self) -> int:
+        """Total LLC misses (off-chip reads)."""
+        return self.llc.stats.misses
+
+    def reset_stats(self) -> None:
+        """Zero all cache statistics (content and directory preserved)."""
+        for cache in self.l1i + self.l1d + [self.llc]:
+            cache.reset_stats()

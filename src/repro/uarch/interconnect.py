@@ -1,0 +1,64 @@
+"""Cluster crossbar latency and contention model.
+
+Cores and LLC banks inside a cluster are connected by a cache-coherent
+crossbar (Section II-B).  The crossbar sits on the fixed uncore clock
+domain, so its latency is constant in *nanoseconds* regardless of the
+core DVFS point; the core model converts it to core cycles.
+
+Contention is modelled with an M/M/1-style waiting-time term per LLC
+bank port, which is small at the paper's per-cluster traffic levels but
+becomes visible when consolidation increases per-cluster load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class CrossbarModel:
+    """Crossbar traversal latency with utilisation-dependent queueing.
+
+    Parameters
+    ----------
+    base_latency_ns:
+        Unloaded one-way traversal latency (request or response).
+    service_time_ns:
+        Port occupancy per transfer (64B line over the crossbar).
+    ports:
+        Number of LLC bank ports (4 banks in the paper's cluster).
+    """
+
+    base_latency_ns: float = 2.0
+    service_time_ns: float = 1.0
+    ports: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive("base_latency_ns", self.base_latency_ns)
+        check_positive("service_time_ns", self.service_time_ns)
+        check_positive("ports", self.ports)
+
+    def port_utilization(self, transfers_per_second: float) -> float:
+        """Average utilisation of one port for the given cluster traffic."""
+        check_non_negative("transfers_per_second", transfers_per_second)
+        per_port = transfers_per_second / self.ports
+        return min(0.99, per_port * self.service_time_ns * 1e-9)
+
+    def queueing_delay_ns(self, transfers_per_second: float) -> float:
+        """M/M/1 waiting time at one port, nanoseconds."""
+        rho = self.port_utilization(transfers_per_second)
+        if rho >= 0.99:
+            rho = 0.99
+        return self.service_time_ns * rho / (1.0 - rho)
+
+    def round_trip_latency_ns(self, transfers_per_second: float = 0.0) -> float:
+        """Request + response traversal latency including queueing, ns."""
+        one_way = self.base_latency_ns + self.queueing_delay_ns(transfers_per_second)
+        return 2.0 * one_way + self.service_time_ns
+
+    def saturated(self, transfers_per_second: float, threshold: float = 0.9) -> bool:
+        """True when port utilisation exceeds ``threshold``."""
+        check_fraction("threshold", threshold)
+        return self.port_utilization(transfers_per_second) >= threshold

@@ -1,0 +1,69 @@
+"""Shared utilities for the near-threshold server reproduction.
+
+This package groups small, dependency-free helpers used across the whole
+library:
+
+* :mod:`repro.utils.units` -- unit conversion helpers and canonical unit
+  conventions used everywhere in the code base (Hz, V, W, J, bytes, s).
+* :mod:`repro.utils.interpolation` -- monotone interpolation and curve
+  fitting helpers used by the calibrated technology models.
+* :mod:`repro.utils.validation` -- argument validation helpers that raise
+  consistent, descriptive exceptions.
+* :mod:`repro.utils.tables` -- minimal plain-text table rendering used by
+  benchmark harnesses and report generation.
+"""
+
+from repro.utils.units import (
+    GHZ,
+    HZ_PER_GHZ,
+    HZ_PER_MHZ,
+    KB,
+    MB,
+    GB,
+    MHZ,
+    ghz,
+    mhz,
+    to_ghz,
+    to_mhz,
+    joules_per_op_to_nj,
+    nj,
+    mw,
+    uw,
+    seconds_to_ms,
+    ms_to_seconds,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_fraction,
+)
+from repro.utils.interpolation import PiecewiseLinear, monotone_increasing
+from repro.utils.tables import format_table
+
+__all__ = [
+    "GHZ",
+    "MHZ",
+    "HZ_PER_GHZ",
+    "HZ_PER_MHZ",
+    "KB",
+    "MB",
+    "GB",
+    "ghz",
+    "mhz",
+    "to_ghz",
+    "to_mhz",
+    "joules_per_op_to_nj",
+    "nj",
+    "mw",
+    "uw",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_fraction",
+    "PiecewiseLinear",
+    "monotone_increasing",
+    "format_table",
+]

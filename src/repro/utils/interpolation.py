@@ -1,0 +1,86 @@
+"""Interpolation helpers used by the calibrated technology models.
+
+The near-threshold voltage/frequency model mixes analytical components
+(alpha-power law, subthreshold exponential) with piecewise-linear
+corrections fitted to published anchor points.  This module provides a
+small, dependency-light piecewise-linear curve abstraction plus a
+monotonicity check used when validating calibration tables.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def monotone_increasing(values: Sequence[float], strict: bool = False) -> bool:
+    """Return True when ``values`` is (strictly) non-decreasing."""
+    for previous, current in zip(values, values[1:]):
+        if strict and current <= previous:
+            return False
+        if not strict and current < previous:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """A piecewise-linear curve y(x) defined by sorted knot points.
+
+    Outside the knot range the curve is linearly extrapolated from the
+    first/last segment, which matches how the paper's Figure 1 curves are
+    extended to the edges of the explored frequency range.
+    """
+
+    xs: tuple
+    ys: tuple
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float]):
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        if len(xs) < 2:
+            raise ValueError("need at least two knot points")
+        if not monotone_increasing(xs, strict=True):
+            raise ValueError("xs must be strictly increasing")
+        object.__setattr__(self, "xs", tuple(float(x) for x in xs))
+        object.__setattr__(self, "ys", tuple(float(y) for y in ys))
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the curve at ``x`` (linear extrapolation outside range)."""
+        xs, ys = self.xs, self.ys
+        if x <= xs[0]:
+            index = 0
+        elif x >= xs[-1]:
+            index = len(xs) - 2
+        else:
+            index = bisect_left(xs, x) - 1
+            index = max(0, min(index, len(xs) - 2))
+        x0, x1 = xs[index], xs[index + 1]
+        y0, y1 = ys[index], ys[index + 1]
+        slope = (y1 - y0) / (x1 - x0)
+        return y0 + slope * (x - x0)
+
+    def inverse(self, y: float) -> float:
+        """Evaluate the inverse curve x(y); requires ys strictly monotone."""
+        if monotone_increasing(self.ys, strict=True):
+            inverse_curve = PiecewiseLinear(self.ys, self.xs)
+            return inverse_curve(y)
+        reversed_ys = tuple(reversed(self.ys))
+        if monotone_increasing(reversed_ys, strict=True):
+            inverse_curve = PiecewiseLinear(reversed_ys, tuple(reversed(self.xs)))
+            return inverse_curve(y)
+        raise ValueError("curve is not invertible (ys not strictly monotone)")
+
+    @property
+    def domain(self) -> tuple:
+        """Return the (min, max) x range covered by the knot points."""
+        return (self.xs[0], self.xs[-1])
+
+
+def linspace(start: float, stop: float, count: int) -> list:
+    """Return ``count`` evenly spaced samples covering [start, stop]."""
+    if count < 2:
+        raise ValueError("count must be >= 2")
+    step = (stop - start) / (count - 1)
+    return [start + step * index for index in range(count)]

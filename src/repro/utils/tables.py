@@ -1,0 +1,40 @@
+"""Minimal plain-text table rendering.
+
+The benchmark harnesses print the rows / series the paper reports.  This
+module renders those tables without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _stringify(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    string_rows = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [render_row(list(headers))]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
+    """Render an (x, y) series as a compact two-column table."""
+    rows = list(zip(xs, ys))
+    return f"{name}\n" + format_table(("x", "y"), rows)

@@ -1,0 +1,103 @@
+"""Unit conventions and conversion helpers.
+
+The library uses SI base units internally unless a name says otherwise:
+
+* frequency -- hertz (Hz)
+* voltage   -- volts (V)
+* power     -- watts (W)
+* energy    -- joules (J)
+* time      -- seconds (s)
+* capacity  -- bytes (B)
+
+Helpers in this module convert to and from the human-friendly units used
+in the paper (MHz/GHz, nJ, mW, ms) so call sites never hand-roll powers
+of ten.
+"""
+
+from __future__ import annotations
+
+# --- canonical multipliers -------------------------------------------------
+
+HZ_PER_MHZ = 1.0e6
+HZ_PER_GHZ = 1.0e9
+
+MHZ = HZ_PER_MHZ
+GHZ = HZ_PER_GHZ
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+NANO = 1.0e-9
+MICRO = 1.0e-6
+MILLI = 1.0e-3
+
+
+# --- frequency --------------------------------------------------------------
+
+def mhz(value: float) -> float:
+    """Convert a frequency expressed in MHz to Hz."""
+    return value * HZ_PER_MHZ
+
+
+def ghz(value: float) -> float:
+    """Convert a frequency expressed in GHz to Hz."""
+    return value * HZ_PER_GHZ
+
+
+def to_mhz(frequency_hz: float) -> float:
+    """Convert a frequency in Hz to MHz."""
+    return frequency_hz / HZ_PER_MHZ
+
+
+def to_ghz(frequency_hz: float) -> float:
+    """Convert a frequency in Hz to GHz."""
+    return frequency_hz / HZ_PER_GHZ
+
+
+# --- energy and power -------------------------------------------------------
+
+def nj(value: float) -> float:
+    """Convert an energy expressed in nanojoules to joules."""
+    return value * NANO
+
+
+def joules_per_op_to_nj(value: float) -> float:
+    """Convert an energy-per-operation in joules to nanojoules."""
+    return value / NANO
+
+
+def mw(value: float) -> float:
+    """Convert a power expressed in milliwatts to watts."""
+    return value * MILLI
+
+
+def uw(value: float) -> float:
+    """Convert a power expressed in microwatts to watts."""
+    return value * MICRO
+
+
+# --- time --------------------------------------------------------------------
+
+def ms_to_seconds(value: float) -> float:
+    """Convert a duration expressed in milliseconds to seconds."""
+    return value * MILLI
+
+
+def seconds_to_ms(value: float) -> float:
+    """Convert a duration in seconds to milliseconds."""
+    return value / MILLI
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count to wall-clock seconds at ``frequency_hz``."""
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert wall-clock seconds to a cycle count at ``frequency_hz``."""
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return seconds * frequency_hz

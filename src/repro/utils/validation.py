@@ -1,0 +1,41 @@
+"""Consistent argument validation helpers.
+
+All model constructors in the library validate their physical parameters
+through these helpers so error messages are uniform and informative.
+"""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, otherwise raise ``ValueError``."""
+    if not value > 0.0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0, otherwise raise ``ValueError``."""
+    if value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Return ``value`` if inside the closed interval [low, high]."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Return ``value`` if it is a valid fraction in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_probability_sum(name: str, values, tolerance: float = 1e-6):
+    """Check that an iterable of fractions sums to 1 within ``tolerance``."""
+    total = float(sum(values))
+    if abs(total - 1.0) > tolerance:
+        raise ValueError(f"{name} must sum to 1.0 (got {total:.6f})")
+    return values

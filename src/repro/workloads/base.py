@@ -1,0 +1,166 @@
+"""Workload characterisation record.
+
+A :class:`WorkloadCharacteristics` instance carries everything the
+performance, power and latency models need to know about an
+application.  The values for the concrete workloads live in
+:mod:`repro.workloads.cloudsuite` and :mod:`repro.workloads.banking_vm`
+and are calibrated against published CloudSuite characterisation data
+and the paper's own observations (memory-boundedness ordering, UIPS
+ordering of the VM classes, QoS limits).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.utils.units import MB
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
+
+
+class WorkloadClass(enum.Enum):
+    """Deployment class of a workload."""
+
+    SCALE_OUT = "scale-out"
+    VIRTUALIZED = "virtualized"
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """Architecture-level characteristics of one application.
+
+    Attributes
+    ----------
+    name:
+        Human-readable workload name.
+    workload_class:
+        Scale-out (latency critical) or virtualized (batch).
+    base_cpi:
+        Cycles per instruction with a perfect memory system beyond L1.
+    branch_fraction:
+        Fraction of instructions that are branches.
+    branch_predictability:
+        1.0 = well predicted; lower values scale the miss rate up.
+    l1_mpki:
+        L1 (I+D) misses per kilo-instruction.
+    llc_mpki:
+        LLC misses per kilo-instruction (off-chip references).
+    memory_level_parallelism:
+        Intrinsic overlap of the workload's off-chip miss stream.
+    activity_factor:
+        Switching activity relative to the power-virus level used by the
+        dynamic power model.
+    write_fraction:
+        Fraction of off-chip traffic that is writes (dirty evictions).
+    instructions_per_request:
+        User instructions needed to serve one request (scale-out only).
+        The paper's latency scaling relies on this being independent of
+        the operating point.
+    minimum_latency_99th_seconds:
+        99th-percentile request latency measured at the nominal 2GHz
+        operating point in a near-zero-contention setup (scale-out only).
+    qos_limit_seconds:
+        Tail-latency QoS limit (scale-out only).
+    memory_footprint_bytes:
+        Resident memory footprint (VM provisioning for the virtualized
+        class; dataset working size for scale-out).
+    service_time_cv:
+        Coefficient of variation of the per-request service time,
+        used by the queueing extensions.
+    """
+
+    name: str
+    workload_class: WorkloadClass
+    base_cpi: float
+    branch_fraction: float
+    branch_predictability: float
+    l1_mpki: float
+    llc_mpki: float
+    memory_level_parallelism: float
+    activity_factor: float
+    write_fraction: float
+    instructions_per_request: float = 0.0
+    minimum_latency_99th_seconds: float = 0.0
+    qos_limit_seconds: float = 0.0
+    memory_footprint_bytes: float = 100 * MB
+    service_time_cv: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("base_cpi", self.base_cpi)
+        check_fraction("branch_fraction", self.branch_fraction)
+        check_fraction("branch_predictability", self.branch_predictability)
+        check_non_negative("l1_mpki", self.l1_mpki)
+        check_non_negative("llc_mpki", self.llc_mpki)
+        if self.llc_mpki > self.l1_mpki:
+            raise ValueError(
+                f"{self.name}: llc_mpki ({self.llc_mpki}) cannot exceed "
+                f"l1_mpki ({self.l1_mpki})"
+            )
+        check_positive("memory_level_parallelism", self.memory_level_parallelism)
+        check_fraction("activity_factor", self.activity_factor)
+        check_fraction("write_fraction", self.write_fraction)
+        check_non_negative("instructions_per_request", self.instructions_per_request)
+        check_non_negative(
+            "minimum_latency_99th_seconds", self.minimum_latency_99th_seconds
+        )
+        check_non_negative("qos_limit_seconds", self.qos_limit_seconds)
+        check_positive("memory_footprint_bytes", self.memory_footprint_bytes)
+        check_positive("service_time_cv", self.service_time_cv)
+        if self.is_scale_out:
+            if self.qos_limit_seconds <= 0.0:
+                raise ValueError(f"{self.name}: scale-out workloads need a QoS limit")
+            if self.minimum_latency_99th_seconds <= 0.0:
+                raise ValueError(
+                    f"{self.name}: scale-out workloads need a baseline latency"
+                )
+            if self.minimum_latency_99th_seconds >= self.qos_limit_seconds:
+                raise ValueError(
+                    f"{self.name}: baseline latency must be below the QoS limit"
+                )
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def is_scale_out(self) -> bool:
+        """True for latency-critical scale-out applications."""
+        return self.workload_class is WorkloadClass.SCALE_OUT
+
+    @property
+    def is_virtualized(self) -> bool:
+        """True for batch virtualized applications."""
+        return self.workload_class is WorkloadClass.VIRTUALIZED
+
+    @property
+    def qos_headroom_at_nominal(self) -> float:
+        """QoS limit divided by the nominal-frequency baseline latency."""
+        if not self.is_scale_out:
+            return float("inf")
+        return self.qos_limit_seconds / self.minimum_latency_99th_seconds
+
+    def off_chip_bytes_per_instruction(self, line_bytes: int = 64) -> float:
+        """Average DRAM bytes moved per committed user instruction."""
+        fills = self.llc_mpki / 1000.0
+        writebacks = fills * self.write_fraction
+        return (fills + writebacks) * line_bytes
+
+    def with_footprint(self, memory_footprint_bytes: float) -> "WorkloadCharacteristics":
+        """Copy of the workload with a different memory footprint."""
+        return replace(self, memory_footprint_bytes=memory_footprint_bytes)
+
+    def scaled_intensity(self, factor: float) -> "WorkloadCharacteristics":
+        """Copy with the off-chip intensity scaled by ``factor``.
+
+        Used by sensitivity studies: scales both the L1 and LLC miss
+        densities while keeping their ratio.
+        """
+        check_positive("factor", factor)
+        return replace(
+            self,
+            name=f"{self.name} (x{factor:g} memory intensity)",
+            l1_mpki=self.l1_mpki * factor,
+            llc_mpki=self.llc_mpki * factor,
+        )

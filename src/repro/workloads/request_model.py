@@ -1,0 +1,94 @@
+"""Per-request service model for scale-out applications.
+
+The paper's latency methodology (Section V-A) rests on one invariant:
+"the number of user instructions executed per request remains constant
+across any contention point".  A request's service time at a given
+operating point is therefore::
+
+    service_time(f) = instructions_per_request / UIPS_core(f)
+
+and the measured 99th-percentile latency scales with the inverse of the
+per-core throughput.  This module implements that service-time model
+plus a log-normal service-time distribution (parameterised by the
+workload's coefficient of variation) used by the queueing extensions to
+study loaded servers and consolidation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+from repro.workloads.base import WorkloadCharacteristics
+
+
+@dataclass(frozen=True)
+class RequestServiceModel:
+    """Service-time model of one scale-out application."""
+
+    workload: WorkloadCharacteristics
+
+    def __post_init__(self) -> None:
+        if not self.workload.is_scale_out:
+            raise ValueError(
+                f"{self.workload.name} is not a scale-out workload; "
+                "request-level modelling only applies to scale-out applications"
+            )
+
+    def mean_service_time(self, core_uips: float) -> float:
+        """Mean service time in seconds at a per-core throughput of ``core_uips``."""
+        check_positive("core_uips", core_uips)
+        return self.workload.instructions_per_request / core_uips
+
+    def lognormal_parameters(self, core_uips: float) -> tuple:
+        """(mu, sigma) of the log-normal service-time distribution."""
+        mean = self.mean_service_time(core_uips)
+        cv = self.workload.service_time_cv
+        sigma_squared = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - 0.5 * sigma_squared
+        return mu, math.sqrt(sigma_squared)
+
+    def percentile_service_time(self, core_uips: float, percentile: float) -> float:
+        """Service time at ``percentile`` (0..100) of the distribution."""
+        if not (0.0 < percentile < 100.0):
+            raise ValueError(f"percentile must be in (0, 100), got {percentile}")
+        mu, sigma = self.lognormal_parameters(core_uips)
+        z = _normal_quantile(percentile / 100.0)
+        return math.exp(mu + sigma * z)
+
+    def service_rate(self, core_uips: float) -> float:
+        """Requests per second one core sustains at ``core_uips``."""
+        return 1.0 / self.mean_service_time(core_uips)
+
+
+def _normal_quantile(probability: float) -> float:
+    """Quantile of the standard normal distribution (Acklam's approximation)."""
+    if not (0.0 < probability < 1.0):
+        raise ValueError(f"probability must be in (0, 1), got {probability}")
+    # Coefficients for the rational approximations.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    p_high = 1.0 - p_low
+    if probability < p_low:
+        q = math.sqrt(-2.0 * math.log(probability))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if probability > p_high:
+        q = math.sqrt(-2.0 * math.log(1.0 - probability))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = probability - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )

@@ -1,0 +1,131 @@
+"""Tests for the figure/table builders and the paper-claim validation."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FigureSeries,
+    figure1_series,
+    figure2_series,
+    figure3_series,
+    figure4_series,
+)
+from repro.analysis.tables import memory_power_summary, table1_rows
+from repro.analysis.validation import claims_as_dict, validate_paper_claims
+from repro.core.efficiency import EfficiencyScope
+from repro.utils.units import mhz
+
+
+# -- Figure 1 -----------------------------------------------------------------------
+
+
+def test_figure1_contains_three_flavours():
+    series = figure1_series(frequencies_hz=[mhz(f) for f in (200, 500, 1000, 2000)])
+    assert set(series) == {"bulk", "fdsoi", "fdsoi-fbb"}
+    for flavour in series.values():
+        assert set(flavour) == {"vdd", "power"}
+
+
+def test_figure1_power_and_vdd_monotone_in_frequency():
+    series = figure1_series(frequencies_hz=[mhz(f) for f in range(200, 2001, 200)])
+    for flavour in series.values():
+        assert list(flavour["power"].y_values) == sorted(flavour["power"].y_values)
+        assert list(flavour["vdd"].y_values) == sorted(flavour["vdd"].y_values)
+
+
+def test_figure1_fdsoi_below_bulk_power():
+    series = figure1_series(frequencies_hz=[mhz(f) for f in (500, 1000, 2000)])
+    bulk = series["bulk"]["power"].y_values
+    fdsoi = series["fdsoi"]["power"].y_values
+    assert all(f < b for f, b in zip(fdsoi, bulk))
+
+
+# -- Figure 2 -----------------------------------------------------------------------
+
+
+def test_figure2_has_four_workloads():
+    series = figure2_series(frequencies_hz=[mhz(f) for f in (200, 500, 1000, 2000)])
+    assert len(series) == 4
+
+
+def test_figure2_normalized_latency_decreases_with_frequency():
+    series = figure2_series(frequencies_hz=[mhz(f) for f in (200, 500, 1000, 2000)])
+    for figure in series.values():
+        assert list(figure.y_values) == sorted(figure.y_values, reverse=True)
+
+
+def test_figure2_meets_qos_at_2ghz():
+    series = figure2_series(frequencies_hz=[mhz(2000)])
+    for figure in series.values():
+        assert figure.y_values[0] < 1.0
+
+
+# -- Figures 3 and 4 -------------------------------------------------------------------
+
+
+def test_figure3_scopes_have_expected_shapes():
+    frequencies = [mhz(f) for f in (200, 500, 1000, 1500, 2000)]
+    cores = figure3_series(EfficiencyScope.CORES, frequencies_hz=frequencies)
+    soc = figure3_series(EfficiencyScope.SOC, frequencies_hz=frequencies)
+    for name in cores:
+        # Cores: efficiency decreases with frequency.
+        assert list(cores[name].y_values) == sorted(cores[name].y_values, reverse=True)
+        # SoC: interior maximum (not at either end for this grid).
+        soc_values = list(soc[name].y_values)
+        assert max(soc_values) not in (soc_values[0],)
+
+
+def test_figure4_has_two_vm_classes():
+    series = figure4_series(
+        EfficiencyScope.SERVER, frequencies_hz=[mhz(500), mhz(1000), mhz(2000)]
+    )
+    assert set(series) == {"VMs low-mem", "VMs high-mem"}
+
+
+def test_figure4_high_mem_above_low_mem_efficiency():
+    series = figure4_series(
+        EfficiencyScope.SERVER, frequencies_hz=[mhz(1000), mhz(2000)]
+    )
+    high = series["VMs high-mem"].y_values
+    low = series["VMs low-mem"].y_values
+    assert all(h > l for h, l in zip(high, low))
+
+
+def test_figure_series_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        FigureSeries("broken", (1.0, 2.0), (1.0,))
+
+
+def test_figure_series_as_rows():
+    series = FigureSeries("x", (1.0, 2.0), (3.0, 4.0))
+    assert series.as_rows() == [(1.0, 3.0), (2.0, 4.0)]
+
+
+# -- Table I and validation ---------------------------------------------------------------
+
+
+def test_table1_values_match_paper():
+    row = table1_rows()[0]
+    assert row["E_IDLE (nJ/cycle)"] == pytest.approx(0.0728)
+    assert row["E_READ (nJ/byte)"] == pytest.approx(0.2566)
+    assert row["E_WRITE (nJ/byte)"] == pytest.approx(0.2495)
+
+
+def test_memory_power_summary_fields():
+    summary = memory_power_summary()
+    assert summary["chips"] == 128
+    assert summary["capacity_gb"] == pytest.approx(64.0)
+    assert summary["total_power_w"] == pytest.approx(
+        summary["background_power_w"] + summary["dynamic_power_w"]
+    )
+
+
+def test_all_paper_claims_pass():
+    checks = validate_paper_claims()
+    failed = [check.claim for check in checks if not check.passed]
+    assert failed == []
+
+
+def test_claims_as_dict_shape():
+    claims = claims_as_dict()
+    assert len(claims) >= 10
+    assert all(isinstance(value, bool) for value in claims.values())

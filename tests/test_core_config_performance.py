@@ -1,0 +1,141 @@
+"""Tests for the server configuration and the analytical performance model."""
+
+import pytest
+
+from repro.core.config import ServerConfiguration, default_frequency_grid, default_server
+from repro.core.performance import ServerPerformanceModel
+from repro.power.dram_power import LPDDR4_4GBIT_X8
+from repro.technology.a57_model import BodyBiasPolicy
+from repro.technology.process import BULK_28NM, FDSOI_28NM
+from repro.utils.units import ghz, mhz
+from repro.workloads.banking_vm import VMS_HIGH_MEM, VMS_LOW_MEM
+from repro.workloads.cloudsuite import DATA_SERVING, MEDIA_STREAMING, WEB_SEARCH
+
+
+# -- configuration -------------------------------------------------------------------
+
+
+def test_default_server_matches_paper_organisation():
+    config = default_server()
+    assert config.cluster_count == 9
+    assert config.cores_per_cluster == 4
+    assert config.core_count == 36
+    assert config.technology is FDSOI_28NM
+    assert config.nominal_frequency_hz == pytest.approx(2.0e9)
+    assert config.power_budget_watts == pytest.approx(100.0)
+
+
+def test_default_frequency_grid_covers_100mhz_to_2ghz():
+    grid = default_frequency_grid()
+    assert min(grid) == pytest.approx(mhz(100))
+    assert max(grid) == pytest.approx(ghz(2))
+    assert len(grid) >= 15
+
+
+def test_default_server_fits_area_budget():
+    assert default_server().fits_area_budget()
+
+
+def test_oversized_organisation_fails_area_budget():
+    config = default_server().with_cluster_organization(12, 4)
+    assert not config.fits_area_budget()
+
+
+def test_with_technology_builds_variant():
+    config = default_server().with_technology(BULK_28NM)
+    assert config.technology is BULK_28NM
+    assert "bulk" in config.name
+
+
+def test_with_memory_chip_builds_variant():
+    config = default_server().with_memory_chip(LPDDR4_4GBIT_X8)
+    assert config.memory_chip is LPDDR4_4GBIT_X8
+    assert config.memory_power_model().background_power() < (
+        default_server().memory_power_model().background_power()
+    )
+
+
+def test_memory_capacity_is_64gb():
+    assert default_server().memory_power_model().capacity_gb() == pytest.approx(64.0)
+
+
+def test_bias_policy_flows_into_core_model():
+    config = default_server().with_technology(FDSOI_28NM, BodyBiasPolicy.OPTIMAL)
+    model = config.core_power_model()
+    assert model.bias_policy is BodyBiasPolicy.OPTIMAL
+
+
+def test_invalid_cluster_count_rejected():
+    with pytest.raises(ValueError):
+        ServerConfiguration(cluster_count=0)
+
+
+def test_empty_frequency_grid_rejected():
+    with pytest.raises(ValueError):
+        ServerConfiguration(frequency_grid=())
+
+
+# -- performance model ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def performance():
+    return ServerPerformanceModel(default_server())
+
+
+def test_chip_uips_is_core_uips_times_core_count(performance):
+    point = performance.performance(WEB_SEARCH, ghz(1))
+    assert point.chip_uips == pytest.approx(point.core_uips * 36)
+
+
+def test_uipc_rises_as_frequency_drops(performance):
+    assert (
+        performance.performance(DATA_SERVING, mhz(200)).uipc
+        > performance.performance(DATA_SERVING, ghz(2)).uipc
+    )
+
+
+def test_throughput_ratio_to_nominal_above_one_at_low_frequency(performance):
+    ratio = performance.throughput_ratio_to_nominal(DATA_SERVING, mhz(500))
+    assert ratio > 1.0
+
+
+def test_memory_bandwidth_scales_with_throughput(performance):
+    low = performance.memory_read_bandwidth(DATA_SERVING, mhz(500))
+    high = performance.memory_read_bandwidth(DATA_SERVING, ghz(2))
+    assert high > low
+
+
+def test_memory_bandwidth_within_channel_peak(performance):
+    bandwidth = performance.memory_read_bandwidth(
+        DATA_SERVING, ghz(2)
+    ) + performance.memory_write_bandwidth(DATA_SERVING, ghz(2))
+    assert bandwidth < default_server().memory_organization.peak_bandwidth
+
+
+def test_write_bandwidth_uses_write_fraction(performance):
+    read = performance.memory_read_bandwidth(DATA_SERVING, ghz(1))
+    write = performance.memory_write_bandwidth(DATA_SERVING, ghz(1))
+    assert write == pytest.approx(read * DATA_SERVING.write_fraction)
+
+
+def test_vm_high_mem_has_higher_uips_than_low_mem(performance):
+    high = performance.performance(VMS_HIGH_MEM, ghz(2)).chip_uips
+    low = performance.performance(VMS_LOW_MEM, ghz(2)).chip_uips
+    assert high > low
+
+
+def test_llc_access_rate_positive(performance):
+    assert performance.llc_accesses_per_second_per_cluster(MEDIA_STREAMING, ghz(1)) > 0
+
+
+def test_crossbar_traffic_is_llc_rate_times_line(performance):
+    rate = performance.llc_accesses_per_second_per_cluster(WEB_SEARCH, ghz(1))
+    assert performance.crossbar_bytes_per_second_per_cluster(
+        WEB_SEARCH, ghz(1)
+    ) == pytest.approx(rate * 64)
+
+
+def test_nominal_performance_uses_configured_nominal(performance):
+    nominal = performance.nominal_performance(WEB_SEARCH)
+    assert nominal.frequency_hz == pytest.approx(2.0e9)

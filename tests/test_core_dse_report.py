@@ -1,0 +1,98 @@
+"""Tests for the design-space exploration engine and report rendering."""
+
+import pytest
+
+from repro.core.config import default_server
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.report import render_operating_points, render_summary
+from repro.technology.a57_model import BodyBiasPolicy
+from repro.technology.process import BULK_28NM, FDSOI_28NM_FBB
+from repro.utils.units import ghz, mhz
+from repro.workloads.banking_vm import VMS_LOW_MEM
+from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH, scale_out_workloads
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return DesignSpaceExplorer(default_server())
+
+
+def test_evaluate_produces_consistent_record(explorer):
+    record = explorer.evaluate(WEB_SEARCH, ghz(1))
+    assert record.workload_name == "Web Search"
+    assert record.frequency_hz == pytest.approx(ghz(1))
+    assert record.core_power < record.soc_power < record.server_power
+    assert record.cores_efficiency > record.soc_efficiency > record.server_efficiency
+    assert record.latency_seconds is not None
+    assert record.degradation is None
+
+
+def test_evaluate_vm_record_has_degradation(explorer):
+    record = explorer.evaluate(VMS_LOW_MEM, ghz(1))
+    assert record.degradation is not None
+    assert record.latency_seconds is None
+
+
+def test_explore_covers_grid_for_all_workloads(explorer):
+    workloads = list(scale_out_workloads().values())
+    records = explorer.explore(workloads, [mhz(500), ghz(1), ghz(2)])
+    assert len(records) == len(workloads) * 3
+
+
+def test_summary_contains_optima_and_floor(explorer):
+    summary = explorer.summarize(DATA_SERVING)
+    assert summary.qos_floor_hz is not None
+    assert set(summary.optimal_frequency_by_scope) == {"cores", "soc", "server"}
+    assert summary.best_qos_respecting_frequency is not None
+    assert summary.best_qos_respecting_frequency >= summary.qos_floor_hz
+
+
+def test_best_qos_respecting_point_meets_qos(explorer):
+    summary = explorer.summarize(WEB_SEARCH)
+    record = explorer.evaluate(WEB_SEARCH, summary.best_qos_respecting_frequency)
+    assert record.meets_qos
+
+
+def test_summarize_all(explorer):
+    summaries = explorer.summarize_all(scale_out_workloads().values())
+    assert len(summaries) == 4
+
+
+def test_compare_technologies_orders_power(explorer):
+    configurations = {
+        "bulk": default_server().with_technology(BULK_28NM),
+        "fdsoi": default_server(),
+        "fdsoi-fbb": default_server().with_technology(
+            FDSOI_28NM_FBB, BodyBiasPolicy.OPTIMAL
+        ),
+    }
+    results = explorer.compare_technologies(WEB_SEARCH, configurations, ghz(1))
+    assert set(results) == {"bulk", "fdsoi", "fdsoi-fbb"}
+    assert results["bulk"].core_power > results["fdsoi"].core_power
+    assert results["fdsoi"].core_power >= results["fdsoi-fbb"].core_power
+    # Throughput is technology independent (same frequency).
+    assert results["bulk"].chip_uips == pytest.approx(results["fdsoi"].chip_uips)
+
+
+def test_compare_technologies_skips_unreachable(explorer):
+    configurations = {"bulk": default_server().with_technology(BULK_28NM)}
+    results = explorer.compare_technologies(WEB_SEARCH, configurations, 3.4e9)
+    assert results == {}
+
+
+def test_meets_qos_flag_false_at_very_low_frequency(explorer):
+    record = explorer.evaluate(DATA_SERVING, mhz(100))
+    assert not record.meets_qos
+
+
+def test_render_operating_points_table(explorer):
+    records = [explorer.evaluate(WEB_SEARCH, ghz(1)), explorer.evaluate(WEB_SEARCH, ghz(2))]
+    text = render_operating_points(records)
+    assert "Web Search" in text
+    assert "1000" in text and "2000" in text
+
+
+def test_render_summary_table(explorer):
+    text = render_summary([explorer.summarize(DATA_SERVING)])
+    assert "Data Serving" in text
+    assert "QoS floor" in text

@@ -1,0 +1,159 @@
+"""Tests for the efficiency and QoS analyzers (Figures 2-4 behaviour)."""
+
+import pytest
+
+from repro.core.config import default_server
+from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
+from repro.core.qos import QosAnalyzer
+from repro.utils.units import ghz, mhz
+from repro.workloads.banking_vm import (
+    DEGRADATION_LIMIT_RELAXED,
+    DEGRADATION_LIMIT_STRICT,
+    VMS_HIGH_MEM,
+    VMS_LOW_MEM,
+)
+from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH, scale_out_workloads
+
+
+@pytest.fixture(scope="module")
+def efficiency():
+    return EfficiencyAnalyzer(default_server())
+
+
+@pytest.fixture(scope="module")
+def qos():
+    return QosAnalyzer(default_server())
+
+
+# -- efficiency ---------------------------------------------------------------------
+
+
+def test_power_ordering_cores_soc_server(efficiency):
+    for frequency in (mhz(300), ghz(1), ghz(2)):
+        cores = efficiency.power(WEB_SEARCH, frequency, EfficiencyScope.CORES)
+        soc = efficiency.power(WEB_SEARCH, frequency, EfficiencyScope.SOC)
+        server = efficiency.power(WEB_SEARCH, frequency, EfficiencyScope.SERVER)
+        assert cores < soc < server
+
+
+def test_cores_efficiency_monotonically_improves_toward_low_frequency(efficiency):
+    curve = efficiency.curve(DATA_SERVING, EfficiencyScope.CORES)
+    values = [point.efficiency for point in curve]
+    # The curve is ordered by increasing frequency; efficiency must fall.
+    assert all(earlier >= later for earlier, later in zip(values, values[1:]))
+
+
+def test_cores_optimum_at_lowest_reachable_frequency(efficiency):
+    optimum = efficiency.optimal_frequency(DATA_SERVING, EfficiencyScope.CORES)
+    grid = efficiency.reachable_frequencies()
+    assert optimum.frequency_hz == pytest.approx(grid[0])
+
+
+def test_soc_optimum_near_1ghz(efficiency):
+    for workload in scale_out_workloads().values():
+        optimum = efficiency.optimal_frequency(workload, EfficiencyScope.SOC)
+        assert mhz(600) <= optimum.frequency_hz <= mhz(1400)
+
+
+def test_server_optimum_at_or_above_soc_optimum(efficiency):
+    for workload in list(scale_out_workloads().values()) + [VMS_LOW_MEM, VMS_HIGH_MEM]:
+        soc = efficiency.optimal_frequency(workload, EfficiencyScope.SOC)
+        server = efficiency.optimal_frequency(workload, EfficiencyScope.SERVER)
+        assert server.frequency_hz >= soc.frequency_hz
+
+
+def test_server_optimum_for_scale_out_near_1_2ghz(efficiency):
+    optimum = efficiency.optimal_frequency(DATA_SERVING, EfficiencyScope.SERVER)
+    assert mhz(900) <= optimum.frequency_hz <= mhz(1500)
+
+
+def test_efficiency_point_units(efficiency):
+    point = efficiency.efficiency(WEB_SEARCH, ghz(1), EfficiencyScope.SERVER)
+    assert point.efficiency == pytest.approx(point.chip_uips / point.power_watts)
+    assert point.efficiency_guips_per_watt == pytest.approx(point.efficiency / 1e9)
+
+
+def test_optimal_frequencies_all_scopes_keys(efficiency):
+    optima = efficiency.optimal_frequencies_all_scopes(WEB_SEARCH)
+    assert set(optima) == {"cores", "soc", "server"}
+
+
+def test_reachable_frequencies_sorted_and_within_grid(efficiency):
+    grid = efficiency.reachable_frequencies()
+    assert grid == sorted(grid)
+    assert min(grid) >= mhz(100)
+    assert max(grid) <= ghz(2)
+
+
+def test_curve_with_custom_grid(efficiency):
+    points = efficiency.curve(WEB_SEARCH, EfficiencyScope.SOC, [mhz(500), ghz(1)])
+    assert len(points) == 2
+
+
+# -- QoS -------------------------------------------------------------------------------
+
+
+def test_all_scale_out_floors_in_200_to_500mhz(qos):
+    for workload in scale_out_workloads().values():
+        floor = qos.qos_frequency_floor(workload)
+        assert floor is not None
+        assert mhz(200) <= floor <= mhz(500)
+
+
+def test_latency_curve_monotone_decreasing_with_frequency(qos):
+    result = qos.latency_curve(DATA_SERVING)
+    latencies = [point.latency_seconds for point in result.points]
+    assert all(earlier >= later for earlier, later in zip(latencies, latencies[1:]))
+
+
+def test_latency_normalized_below_one_at_nominal(qos):
+    result = qos.latency_curve(WEB_SEARCH)
+    assert result.points[-1].normalized_to_qos < 1.0
+
+
+def test_latency_violates_qos_at_100mhz(qos):
+    result = qos.latency_curve(DATA_SERVING)
+    assert result.points[0].normalized_to_qos > 1.0
+
+
+def test_qos_floor_consistent_with_meets_qos_list(qos):
+    result = qos.latency_curve(WEB_SEARCH)
+    assert result.qos_floor_hz == min(result.meets_qos_at)
+
+
+def test_vm_relaxed_floor_at_or_below_500mhz(qos):
+    for workload in (VMS_LOW_MEM, VMS_HIGH_MEM):
+        floor = qos.degradation_frequency_floor(workload, DEGRADATION_LIMIT_RELAXED)
+        assert floor is not None
+        assert floor <= mhz(500)
+
+
+def test_vm_strict_floor_at_or_below_1ghz(qos):
+    for workload in (VMS_LOW_MEM, VMS_HIGH_MEM):
+        floor = qos.degradation_frequency_floor(workload, DEGRADATION_LIMIT_STRICT)
+        assert floor is not None
+        assert floor <= ghz(1)
+
+
+def test_strict_floor_above_relaxed_floor(qos):
+    relaxed = qos.degradation_frequency_floor(VMS_LOW_MEM, DEGRADATION_LIMIT_RELAXED)
+    strict = qos.degradation_frequency_floor(VMS_LOW_MEM, DEGRADATION_LIMIT_STRICT)
+    assert strict >= relaxed
+
+
+def test_degradation_curve_monotone(qos):
+    result = qos.degradation_curve(VMS_LOW_MEM)
+    assert list(result.degradations) == sorted(result.degradations, reverse=True)
+    assert result.floor_strict_hz >= result.floor_relaxed_hz
+
+
+def test_degradation_at_nominal_is_one(qos):
+    result = qos.degradation_curve(VMS_HIGH_MEM)
+    assert result.degradations[-1] == pytest.approx(1.0)
+
+
+def test_frequency_floor_dispatches_by_class(qos):
+    assert qos.frequency_floor(DATA_SERVING) == qos.qos_frequency_floor(DATA_SERVING)
+    assert qos.frequency_floor(VMS_LOW_MEM) == qos.degradation_frequency_floor(
+        VMS_LOW_MEM, DEGRADATION_LIMIT_RELAXED
+    )

@@ -1,0 +1,135 @@
+"""Tests for the DRAM bank state machine and channel controller."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.commands import MemoryRequest, RequestType
+from repro.dram.controller import ChannelController
+from repro.dram.timing import DDR4_1600_4GBIT
+
+
+# -- bank ------------------------------------------------------------------------
+
+
+def test_bank_starts_precharged():
+    bank = Bank(DDR4_1600_4GBIT)
+    assert bank.state is BankState.PRECHARGED
+    assert not bank.is_open
+
+
+def test_activate_opens_row():
+    bank = Bank(DDR4_1600_4GBIT)
+    bank.activate(row=7, cycle=0)
+    assert bank.is_open
+    assert bank.open_row == 7
+
+
+def test_activate_twice_without_precharge_fails():
+    bank = Bank(DDR4_1600_4GBIT)
+    bank.activate(row=1, cycle=0)
+    with pytest.raises(ValueError, match="ACTIVATE"):
+        bank.activate(row=2, cycle=10)
+
+
+def test_column_access_requires_open_row():
+    bank = Bank(DDR4_1600_4GBIT)
+    with pytest.raises(ValueError, match="no open row"):
+        bank.column_access(0, is_write=False)
+
+
+def test_read_after_activate_respects_trcd():
+    timing = DDR4_1600_4GBIT
+    bank = Bank(timing)
+    bank.activate(row=1, cycle=0)
+    issue, done = bank.column_access(0, is_write=False)
+    assert issue >= timing.tRCD
+    assert done == issue + timing.tCL + timing.burst_cycles
+
+
+def test_precharge_respects_tras():
+    timing = DDR4_1600_4GBIT
+    bank = Bank(timing)
+    bank.activate(row=1, cycle=0)
+    issue = bank.precharge(cycle=0)
+    assert issue >= timing.tRAS
+
+
+def test_precharge_when_closed_is_noop():
+    bank = Bank(DDR4_1600_4GBIT)
+    assert bank.precharge(5) == 5
+
+
+def test_write_recovery_delays_precharge():
+    timing = DDR4_1600_4GBIT
+    bank = Bank(timing)
+    bank.activate(row=1, cycle=0)
+    __, data_done = bank.column_access(timing.tRCD, is_write=True)
+    issue = bank.precharge(cycle=0)
+    assert issue >= data_done + timing.tWR
+
+
+def test_block_until_pushes_all_timers():
+    bank = Bank(DDR4_1600_4GBIT)
+    bank.block_until(500)
+    assert bank.activate(row=1, cycle=0) >= 500
+
+
+# -- controller ---------------------------------------------------------------------
+
+
+def _read(address, cycle):
+    return MemoryRequest(address=address, request_type=RequestType.READ, arrival_cycle=cycle)
+
+
+def test_single_read_latency_is_closed_row_latency():
+    controller = ChannelController()
+    latency = controller.access_latency(address=0, is_write=False, cycle=0)
+    assert latency == DDR4_1600_4GBIT.row_closed_latency
+
+
+def test_row_hits_faster_than_conflicts():
+    controller = ChannelController()
+    controller.access_latency(0, False, 0)
+    hit_latency = controller.access_latency(64 * 4, False, 100)
+    # Different row in the same bank: 4KB * channels stride later.
+    conflict_address = 64 * 4 * 128 * 4 * 4 * 4
+    conflict_latency = controller.access_latency(conflict_address, False, 200)
+    assert hit_latency <= conflict_latency
+
+
+def test_sequential_stream_mostly_row_hits():
+    controller = ChannelController()
+    requests = [_read(line * 64 * 4, line * 4) for line in range(500)]
+    controller.run(requests)
+    assert controller.stats.row_hit_rate > 0.9
+
+
+def test_all_requests_complete_with_increasing_completion():
+    controller = ChannelController()
+    requests = [_read(line * 64 * 4, line * 8) for line in range(200)]
+    completed = controller.run(requests)
+    assert len(completed) == 200
+    assert all(request.completion_cycle is not None for request in completed)
+    assert all(request.latency > 0 for request in completed)
+
+
+def test_refresh_happens_on_long_runs():
+    controller = ChannelController()
+    requests = [_read(line * 64 * 4, line * 100) for line in range(200)]
+    controller.run(requests)
+    assert controller.stats.refreshes > 0
+
+
+def test_writes_counted_separately():
+    controller = ChannelController()
+    write = MemoryRequest(address=0, request_type=RequestType.WRITE, arrival_cycle=0)
+    controller.run([write])
+    assert controller.stats.writes == 1
+    assert controller.stats.reads == 0
+    assert controller.stats.bytes_written == 64
+
+
+def test_request_latency_property_requires_completion():
+    request = _read(0, 0)
+    with pytest.raises(ValueError):
+        __ = request.latency

@@ -1,0 +1,108 @@
+"""Tests for DDR4 timing parameters and address mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.address_map import AddressMapping
+from repro.dram.timing import DDR4_1600_4GBIT, DDR4Timing
+
+
+# -- timing -----------------------------------------------------------------------
+
+
+def test_ddr4_1600_clock():
+    assert DDR4_1600_4GBIT.clock_hz == pytest.approx(800e6)
+
+
+def test_banks_per_rank_is_16():
+    assert DDR4_1600_4GBIT.banks == 16
+
+
+def test_burst_cycles_for_bl8():
+    assert DDR4_1600_4GBIT.burst_cycles == 4
+
+
+def test_latency_ordering_hit_closed_conflict():
+    timing = DDR4_1600_4GBIT
+    assert timing.row_hit_latency < timing.row_closed_latency < timing.row_conflict_latency
+
+
+def test_cycles_to_seconds():
+    assert DDR4_1600_4GBIT.cycles_to_seconds(800e6) == pytest.approx(1.0)
+
+
+def test_inconsistent_timing_rejected():
+    with pytest.raises(ValueError, match="tRAS"):
+        DDR4Timing(
+            name="broken",
+            clock_hz=800e6,
+            tCL=11,
+            tRCD=11,
+            tRP=11,
+            tRAS=40,
+            tRC=39,
+            tCCD=4,
+            tRRD=5,
+            tFAW=20,
+            tWR=12,
+            tWTR=6,
+            tRTP=6,
+            tCWL=9,
+            tREFI=6240,
+            tRFC=208,
+        )
+
+
+# -- address mapping ----------------------------------------------------------------
+
+
+def test_consecutive_lines_interleave_across_channels():
+    mapping = AddressMapping()
+    channels = [mapping.decode(line * 64).channel for line in range(8)]
+    assert channels[:4] == [0, 1, 2, 3]
+
+
+def test_same_line_same_coordinates():
+    mapping = AddressMapping()
+    assert mapping.decode(100) == mapping.decode(70)
+
+
+def test_row_size_columns():
+    mapping = AddressMapping(row_bytes=8192, line_bytes=64)
+    assert mapping.columns_per_row == 128
+
+
+def test_banks_per_channel():
+    mapping = AddressMapping()
+    assert mapping.banks_per_channel == 4 * 4 * 4
+
+
+def test_flat_bank_index_unique_per_bank():
+    mapping = AddressMapping()
+    seen = set()
+    for address in range(0, 64 * 4 * 128 * 16 * 4, 64 * 4 * 128):
+        decoded = mapping.decode(address)
+        seen.add((decoded.channel, mapping.flat_bank_index(decoded)))
+    assert len(seen) > 1
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(ValueError):
+        AddressMapping(channels=3)
+
+
+def test_negative_address_rejected():
+    with pytest.raises(ValueError):
+        AddressMapping().decode(-1)
+
+
+@given(st.integers(min_value=0, max_value=2**36))
+def test_decode_fields_within_bounds(address):
+    mapping = AddressMapping()
+    decoded = mapping.decode(address)
+    assert 0 <= decoded.channel < mapping.channels
+    assert 0 <= decoded.rank < mapping.ranks
+    assert 0 <= decoded.bank_group < mapping.bank_groups
+    assert 0 <= decoded.bank < mapping.banks_per_group
+    assert 0 <= decoded.column < mapping.columns_per_row
+    assert decoded.row >= 0

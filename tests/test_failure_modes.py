@@ -1,0 +1,93 @@
+"""Failure-injection and edge-case tests across the library."""
+
+import pytest
+
+from repro.core.config import ServerConfiguration, default_server
+from repro.core.consolidation import ConsolidationAnalyzer
+from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
+from repro.core.qos import QosAnalyzer
+from repro.dram.commands import MemoryRequest, RequestType
+from repro.power.dram_power import MemoryOrganization, MemoryPowerModel
+from repro.technology.a57_model import CortexA57PowerModel
+from repro.technology.process import BULK_28NM
+from repro.utils.units import ghz, mhz
+from repro.workloads.banking_vm import VMS_LOW_MEM
+from repro.workloads.cloudsuite import DATA_SERVING
+
+
+def test_bulk_server_has_reduced_frequency_grid():
+    """A bulk-technology server cannot reach the lowest NTC grid points."""
+    configuration = default_server().with_technology(BULK_28NM)
+    analyzer = EfficiencyAnalyzer(configuration)
+    reachable = analyzer.reachable_frequencies()
+    assert min(reachable) >= mhz(100)
+    # Bulk cannot use the 100MHz point that FD-SOI reaches at 0.5V...
+    fdsoi_reachable = EfficiencyAnalyzer(default_server()).reachable_frequencies()
+    assert len(reachable) <= len(fdsoi_reachable)
+
+
+def test_qos_floor_is_none_when_no_frequency_meets_qos():
+    """A workload with almost no QoS headroom cannot meet QoS anywhere below nominal."""
+    from dataclasses import replace
+
+    tight = replace(
+        DATA_SERVING,
+        name="Tight QoS",
+        minimum_latency_99th_seconds=19.9e-3,
+        qos_limit_seconds=20.0e-3,
+    )
+    analyzer = QosAnalyzer(default_server())
+    floor = analyzer.qos_frequency_floor(tight, [mhz(200), mhz(500)])
+    assert floor is None
+
+
+def test_consolidation_best_plan_raises_when_bound_unreachable():
+    analyzer = ConsolidationAnalyzer(default_server(), degradation_bound=0.5)
+    with pytest.raises(ValueError, match="degradation bound"):
+        analyzer.best_plan(VMS_LOW_MEM)
+
+
+def test_memory_request_rejects_negative_address():
+    with pytest.raises(ValueError):
+        MemoryRequest(address=-1, request_type=RequestType.READ, arrival_cycle=0)
+
+
+def test_memory_request_rejects_zero_size():
+    with pytest.raises(ValueError):
+        MemoryRequest(
+            address=0, request_type=RequestType.READ, arrival_cycle=0, size_bytes=0
+        )
+
+
+def test_memory_model_with_single_channel_has_lower_peak():
+    small = MemoryPowerModel(organization=MemoryOrganization(channels=1))
+    assert small.organization.peak_bandwidth == pytest.approx(25.6e9)
+    with pytest.raises(ValueError):
+        small.dynamic_power(read_bandwidth=30e9)
+
+
+def test_unreachable_frequency_in_efficiency_curve_is_skipped():
+    configuration = default_server().with_technology(BULK_28NM)
+    analyzer = EfficiencyAnalyzer(configuration)
+    points = analyzer.curve(DATA_SERVING, EfficiencyScope.SOC, [mhz(100), ghz(1), 5e9])
+    frequencies = [point.frequency_hz for point in points]
+    assert 5e9 not in frequencies
+
+
+def test_core_model_activity_bounds_enforced():
+    model = CortexA57PowerModel()
+    with pytest.raises(ValueError):
+        model.operating_point(ghz(1), activity=-0.1)
+
+
+def test_server_configuration_rejects_negative_frequency_grid():
+    with pytest.raises(ValueError):
+        ServerConfiguration(frequency_grid=(1e9, -1.0))
+
+
+def test_degradation_bound_zero_rejected():
+    from repro.latency.degradation import BatchDegradationModel
+
+    model = BatchDegradationModel(VMS_LOW_MEM)
+    with pytest.raises(ValueError):
+        model.meets_bound(1e9, 2e9, bound=0.0)

@@ -1,0 +1,82 @@
+"""End-to-end integration tests across the library's layers."""
+
+import pytest
+
+from repro.core.config import default_server
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.efficiency import EfficiencyScope
+from repro.core.performance import ServerPerformanceModel
+from repro.core.qos import QosAnalyzer
+from repro.sim.cluster import ClusterSimConfig, ClusterSimulator
+from repro.utils.units import ghz, mhz
+from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH
+
+
+def test_detailed_simulator_and_interval_model_agree_on_frequency_trend():
+    """Both performance paths must show UIPC rising as frequency falls."""
+    analytical = ServerPerformanceModel(default_server())
+    ratios = {}
+    for label, frequency in (("low", mhz(300)), ("high", ghz(2))):
+        config = ClusterSimConfig(
+            workload=DATA_SERVING, frequency_hz=frequency, records_per_core=1200
+        )
+        detailed = ClusterSimulator(config).run()
+        interval = analytical.performance(DATA_SERVING, frequency)
+        ratios[label] = (detailed.uipc / 4.0, interval.uipc)
+    detailed_gain = ratios["low"][0] / ratios["high"][0]
+    interval_gain = ratios["low"][1] / ratios["high"][1]
+    assert detailed_gain > 1.0
+    assert interval_gain > 1.0
+
+
+def test_detailed_simulator_uipc_within_factor_two_of_interval_model():
+    analytical = ServerPerformanceModel(default_server())
+    config = ClusterSimConfig(
+        workload=WEB_SEARCH, frequency_hz=ghz(1), records_per_core=1500
+    )
+    detailed_uipc = ClusterSimulator(config).run().uipc / 4.0
+    interval_uipc = analytical.performance(WEB_SEARCH, ghz(1)).uipc
+    assert 0.4 <= detailed_uipc / interval_uipc <= 2.5
+
+
+def test_qos_constrained_best_point_is_more_efficient_than_nominal():
+    """Running at the QoS-respecting efficiency optimum beats 2GHz."""
+    explorer = DesignSpaceExplorer(default_server())
+    summary = explorer.summarize(WEB_SEARCH)
+    best = explorer.evaluate(WEB_SEARCH, summary.best_qos_respecting_frequency)
+    nominal = explorer.evaluate(WEB_SEARCH, ghz(2))
+    assert best.server_efficiency > nominal.server_efficiency
+    assert best.meets_qos
+
+
+def test_full_stack_power_budget_respected_at_nominal():
+    explorer = DesignSpaceExplorer(default_server())
+    for workload in (DATA_SERVING, WEB_SEARCH):
+        record = explorer.evaluate(workload, ghz(2))
+        assert record.soc_power < default_server().power_budget_watts
+
+
+def test_qos_floor_below_soc_optimum():
+    """The QoS floor never forces operation above the efficiency optimum."""
+    configuration = default_server()
+    qos = QosAnalyzer(configuration)
+    explorer = DesignSpaceExplorer(configuration)
+    for workload in (DATA_SERVING, WEB_SEARCH):
+        floor = qos.qos_frequency_floor(workload)
+        summary = explorer.summarize(workload)
+        assert floor <= summary.optimal_frequency_by_scope[EfficiencyScope.SOC.value]
+
+
+def test_uncore_voltage_scaling_ablation_moves_soc_optimum_down():
+    """If the uncore scaled with core voltage, low frequencies get better."""
+    from dataclasses import replace
+
+    from repro.core.efficiency import EfficiencyAnalyzer
+
+    baseline = EfficiencyAnalyzer(default_server())
+    scaled = EfficiencyAnalyzer(
+        replace(default_server(), uncore_voltage_scales_with_core=True)
+    )
+    baseline_opt = baseline.optimal_frequency(WEB_SEARCH, EfficiencyScope.SOC)
+    scaled_opt = scaled.optimal_frequency(WEB_SEARCH, EfficiencyScope.SOC)
+    assert scaled_opt.frequency_hz <= baseline_opt.frequency_hz

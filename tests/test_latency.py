@@ -1,0 +1,138 @@
+"""Tests for the queueing, tail-latency and degradation models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.latency.degradation import BatchDegradationModel
+from repro.latency.queueing import MG1Queue, MM1Queue
+from repro.latency.tail import TailLatencyModel
+from repro.workloads.banking_vm import VMS_LOW_MEM
+from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH
+
+
+# -- queueing -----------------------------------------------------------------------
+
+
+def test_mm1_utilization():
+    queue = MM1Queue(arrival_rate=50.0, service_rate=100.0)
+    assert queue.utilization == pytest.approx(0.5)
+
+
+def test_mm1_mean_response_time():
+    queue = MM1Queue(arrival_rate=50.0, service_rate=100.0)
+    assert queue.mean_response_time == pytest.approx(1.0 / 50.0)
+
+
+def test_mm1_unstable_rejected():
+    with pytest.raises(ValueError, match="unstable"):
+        MM1Queue(arrival_rate=100.0, service_rate=100.0)
+
+
+def test_mm1_percentile_above_mean():
+    queue = MM1Queue(arrival_rate=30.0, service_rate=100.0)
+    assert queue.response_time_percentile(99.0) > queue.mean_response_time
+
+
+def test_mm1_waiting_plus_service_equals_response():
+    queue = MM1Queue(arrival_rate=40.0, service_rate=100.0)
+    assert queue.mean_waiting_time + 1.0 / 100.0 == pytest.approx(
+        queue.mean_response_time
+    )
+
+
+def test_mg1_matches_mm1_for_cv_one():
+    mm1 = MM1Queue(arrival_rate=40.0, service_rate=100.0)
+    mg1 = MG1Queue(arrival_rate=40.0, mean_service_time=0.01, service_time_cv=1.0)
+    assert mg1.mean_waiting_time == pytest.approx(mm1.mean_waiting_time, rel=1e-9)
+
+
+def test_mg1_higher_variance_means_longer_waits():
+    low = MG1Queue(arrival_rate=40.0, mean_service_time=0.01, service_time_cv=0.5)
+    high = MG1Queue(arrival_rate=40.0, mean_service_time=0.01, service_time_cv=2.0)
+    assert high.mean_waiting_time > low.mean_waiting_time
+
+
+def test_mg1_unstable_rejected():
+    with pytest.raises(ValueError):
+        MG1Queue(arrival_rate=200.0, mean_service_time=0.01)
+
+
+def test_mg1_max_stable_arrival_rate():
+    queue = MG1Queue(arrival_rate=10.0, mean_service_time=0.01)
+    assert queue.max_stable_arrival_rate(0.05) == pytest.approx(95.0)
+
+
+@given(st.floats(min_value=0.01, max_value=0.95))
+def test_mm1_response_grows_with_utilization(rho):
+    base = MM1Queue(arrival_rate=rho * 100.0, service_rate=100.0)
+    higher = MM1Queue(arrival_rate=min(0.99, rho * 1.02) * 100.0, service_rate=100.0)
+    assert higher.mean_response_time >= base.mean_response_time - 1e-12
+
+
+# -- tail latency ----------------------------------------------------------------------
+
+
+def test_latency_scales_inversely_with_throughput():
+    model = TailLatencyModel(DATA_SERVING)
+    nominal = model.latency(2.0e9, core_uips=1.0e9, core_uips_nominal=1.0e9)
+    half = model.latency(1.0e9, core_uips=0.5e9, core_uips_nominal=1.0e9)
+    assert half.latency_seconds == pytest.approx(2.0 * nominal.latency_seconds)
+
+
+def test_latency_at_nominal_equals_baseline():
+    model = TailLatencyModel(WEB_SEARCH)
+    point = model.latency(2.0e9, core_uips=1.2e9, core_uips_nominal=1.2e9)
+    assert point.latency_seconds == pytest.approx(
+        WEB_SEARCH.minimum_latency_99th_seconds
+    )
+    assert point.meets_qos
+
+
+def test_normalized_latency_uses_qos_limit():
+    model = TailLatencyModel(DATA_SERVING)
+    point = model.latency(2.0e9, core_uips=1.0e9, core_uips_nominal=1.0e9)
+    assert point.normalized_to_qos == pytest.approx(
+        DATA_SERVING.minimum_latency_99th_seconds / DATA_SERVING.qos_limit_seconds
+    )
+
+
+def test_qos_violation_detected_for_large_slowdown():
+    model = TailLatencyModel(DATA_SERVING)
+    slow = model.latency(0.1e9, core_uips=0.05e9, core_uips_nominal=1.0e9)
+    assert not slow.meets_qos
+    assert slow.normalized_to_qos > 1.0
+
+
+def test_slowdown_budget_is_qos_headroom():
+    model = TailLatencyModel(WEB_SEARCH)
+    assert model.slowdown_budget() == pytest.approx(WEB_SEARCH.qos_headroom_at_nominal)
+
+
+def test_tail_model_rejects_vm_workload():
+    with pytest.raises(ValueError):
+        TailLatencyModel(VMS_LOW_MEM)
+
+
+# -- degradation ------------------------------------------------------------------------
+
+
+def test_degradation_is_throughput_ratio():
+    model = BatchDegradationModel(VMS_LOW_MEM)
+    assert model.degradation(core_uips=0.5e9, core_uips_nominal=2.0e9) == pytest.approx(4.0)
+
+
+def test_degradation_bounds_dictionary():
+    bounds = BatchDegradationModel.bounds()
+    assert bounds["strict"] == 2.0
+    assert bounds["relaxed"] == 4.0
+
+
+def test_meets_bound():
+    model = BatchDegradationModel(VMS_LOW_MEM)
+    assert model.meets_bound(1.0e9, 2.0e9, bound=2.0)
+    assert not model.meets_bound(0.4e9, 2.0e9, bound=2.0)
+
+
+def test_degradation_model_rejects_scale_out_workload():
+    with pytest.raises(ValueError):
+        BatchDegradationModel(DATA_SERVING)

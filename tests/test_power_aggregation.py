@@ -1,0 +1,89 @@
+"""Tests for uncore / SoC / server power aggregation."""
+
+import pytest
+
+from repro.power.server import ServerPowerModel
+from repro.power.soc import SoCPowerModel
+from repro.power.uncore import UncorePowerModel
+from repro.utils.units import ghz
+
+
+def test_uncore_power_around_22w():
+    # 9 clusters x (4MB LLC + crossbar) + 5W peripherals.
+    assert 18.0 <= UncorePowerModel().power() <= 26.0
+
+
+def test_uncore_breakdown_sums_to_total():
+    model = UncorePowerModel()
+    assert sum(model.breakdown().values()) == pytest.approx(model.power())
+
+
+def test_uncore_constant_with_core_voltage_by_default():
+    model = UncorePowerModel()
+    assert model.power(core_voltage_ratio=0.4) == pytest.approx(
+        model.power(core_voltage_ratio=1.0)
+    )
+
+
+def test_uncore_voltage_scaling_ablation():
+    model = UncorePowerModel(voltage_scales_with_core=True)
+    assert model.power(core_voltage_ratio=0.5) == pytest.approx(
+        0.25 * model.power(core_voltage_ratio=1.0)
+    )
+
+
+def test_soc_power_breakdown_consistency():
+    model = SoCPowerModel()
+    breakdown = model.breakdown(ghz(1))
+    assert breakdown.total == pytest.approx(
+        breakdown.core_power + breakdown.uncore_power
+    )
+    assert breakdown.uncore_power == pytest.approx(
+        breakdown.llc_power + breakdown.crossbar_power + breakdown.peripheral_power
+    )
+
+
+def test_soc_core_power_scales_with_frequency():
+    model = SoCPowerModel()
+    assert model.core_power(ghz(2)) > model.core_power(ghz(0.5))
+
+
+def test_soc_uncore_floor_does_not_scale_with_frequency():
+    model = SoCPowerModel()
+    low = model.breakdown(ghz(0.2))
+    high = model.breakdown(ghz(2))
+    assert low.uncore_power == pytest.approx(high.uncore_power)
+
+
+def test_soc_total_under_100w_budget_at_nominal():
+    model = SoCPowerModel()
+    assert model.total_power(ghz(2), activity=0.8) < 100.0
+
+
+def test_server_breakdown_adds_memory():
+    model = ServerPowerModel()
+    breakdown = model.breakdown(ghz(1), memory_read_bandwidth=5e9)
+    assert breakdown.total == pytest.approx(
+        breakdown.soc.total + breakdown.memory_power
+    )
+    assert breakdown.memory_background_power > 10.0
+
+
+def test_server_memory_dynamic_power_scales_with_bandwidth():
+    model = ServerPowerModel()
+    low = model.breakdown(ghz(1), memory_read_bandwidth=1e9)
+    high = model.breakdown(ghz(1), memory_read_bandwidth=10e9)
+    assert high.memory_dynamic_power > low.memory_dynamic_power
+    assert high.memory_background_power == pytest.approx(low.memory_background_power)
+
+
+def test_server_total_power_helper_matches_breakdown():
+    model = ServerPowerModel()
+    assert model.total_power(ghz(1.2), memory_read_bandwidth=3e9) == pytest.approx(
+        model.breakdown(ghz(1.2), memory_read_bandwidth=3e9).total
+    )
+
+
+def test_invalid_core_count_rejected():
+    with pytest.raises(ValueError):
+        SoCPowerModel(core_count=0)

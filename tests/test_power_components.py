@@ -1,0 +1,126 @@
+"""Tests for the LLC, crossbar, peripheral and area power/area models."""
+
+import pytest
+
+from repro.power.area import ChipAreaModel
+from repro.power.cache_power import CachePowerModel
+from repro.power.interconnect_power import CrossbarPowerModel
+from repro.power.peripherals import IOPeripheralPowerModel, PeripheralComponent
+from repro.utils.units import MB
+
+
+# -- LLC -------------------------------------------------------------------------
+
+
+def test_llc_slice_power_about_500mw_per_mb():
+    model = CachePowerModel(capacity_bytes=1 * MB)
+    assert 0.4 <= model.power_per_mb() <= 0.6
+
+
+def test_llc_power_mostly_leakage():
+    model = CachePowerModel(capacity_bytes=4 * MB)
+    assert model.leakage_power() > model.dynamic_power(1.0e8)
+
+
+def test_llc_power_scales_with_capacity():
+    small = CachePowerModel(capacity_bytes=1 * MB)
+    large = CachePowerModel(capacity_bytes=4 * MB)
+    assert large.leakage_power() == pytest.approx(4.0 * small.leakage_power())
+
+
+def test_llc_leakage_reduction_lowers_power():
+    baseline = CachePowerModel(capacity_bytes=4 * MB)
+    reduced = CachePowerModel(capacity_bytes=4 * MB, leakage_reduction=0.5)
+    assert reduced.leakage_power() == pytest.approx(0.5 * baseline.leakage_power())
+
+
+def test_llc_dynamic_power_scales_with_access_rate():
+    model = CachePowerModel()
+    assert model.dynamic_power(2.0e8) == pytest.approx(2.0 * model.dynamic_power(1.0e8))
+
+
+def test_llc_rejects_negative_access_rate():
+    with pytest.raises(ValueError):
+        CachePowerModel().dynamic_power(-1.0)
+
+
+# -- crossbar ---------------------------------------------------------------------
+
+
+def test_crossbar_static_power_25mw():
+    assert CrossbarPowerModel().total_power() == pytest.approx(0.025)
+
+
+def test_crossbar_dynamic_power_scales_with_traffic():
+    model = CrossbarPowerModel()
+    assert model.dynamic_power(2.0e9) == pytest.approx(2.0 * model.dynamic_power(1.0e9))
+
+
+def test_crossbar_total_is_static_plus_dynamic():
+    model = CrossbarPowerModel()
+    assert model.total_power(1.0e9) == pytest.approx(
+        model.static_power + model.dynamic_power(1.0e9)
+    )
+
+
+# -- peripherals ---------------------------------------------------------------------
+
+
+def test_peripherals_sum_to_5w():
+    assert IOPeripheralPowerModel().peak_power == pytest.approx(5.0)
+
+
+def test_peripherals_power_nearly_constant_with_utilization():
+    model = IOPeripheralPowerModel()
+    assert model.power(0.0) >= 0.85 * model.power(1.0)
+
+
+def test_peripherals_breakdown_matches_total():
+    model = IOPeripheralPowerModel()
+    assert sum(model.breakdown(1.0).values()) == pytest.approx(model.power(1.0))
+
+
+def test_peripherals_scaled_copy():
+    half = IOPeripheralPowerModel().scaled(0.5)
+    assert half.peak_power == pytest.approx(2.5)
+
+
+def test_peripheral_component_idle_floor():
+    component = PeripheralComponent("x", peak_power=2.0, idle_fraction=0.5)
+    assert component.power(0.0) == pytest.approx(1.0)
+    assert component.power(1.0) == pytest.approx(2.0)
+
+
+def test_peripheral_component_rejects_bad_utilization():
+    component = PeripheralComponent("x", peak_power=2.0)
+    with pytest.raises(ValueError):
+        component.power(1.5)
+
+
+# -- area ------------------------------------------------------------------------------
+
+
+def test_nine_four_core_clusters_fit_300mm2():
+    model = ChipAreaModel()
+    assert model.max_clusters(cores_per_cluster=4, llc_bytes=4 * MB) == 9
+
+
+def test_ten_clusters_do_not_fit():
+    model = ChipAreaModel()
+    assert not model.fits(10, 4, 4 * MB)
+
+
+def test_chip_area_below_budget_for_paper_organisation():
+    model = ChipAreaModel()
+    area = model.chip_area(9, 4, 4 * MB)
+    assert area <= 300.0
+
+
+def test_sixteen_core_cluster_is_larger():
+    model = ChipAreaModel()
+    assert model.cluster_area(16, 4 * MB) > model.cluster_area(4, 4 * MB)
+
+
+def test_cluster_area_rejects_non_positive_cores():
+    with pytest.raises(ValueError):
+        ChipAreaModel().cluster_area(0, 4 * MB)

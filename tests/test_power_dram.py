@@ -1,0 +1,94 @@
+"""Tests for the DDR4 / LPDDR4 memory power model (Table I)."""
+
+import pytest
+
+from repro.power.dram_power import (
+    DDR4_4GBIT_X8,
+    LPDDR4_4GBIT_X8,
+    DramChipEnergyProfile,
+    MemoryOrganization,
+    MemoryPowerModel,
+)
+
+
+def test_table1_idle_energy():
+    assert DDR4_4GBIT_X8.idle_energy_per_cycle == pytest.approx(0.0728e-9)
+
+
+def test_table1_read_energy():
+    assert DDR4_4GBIT_X8.read_energy_per_byte == pytest.approx(0.2566e-9)
+
+
+def test_table1_write_energy():
+    assert DDR4_4GBIT_X8.write_energy_per_byte == pytest.approx(0.2495e-9)
+
+
+def test_chip_background_power_from_idle_energy():
+    assert DDR4_4GBIT_X8.background_power == pytest.approx(0.0728e-9 * 1.6e9)
+
+
+def test_organization_defaults_match_paper():
+    organization = MemoryOrganization()
+    assert organization.channels == 4
+    assert organization.ranks_per_channel == 4
+    assert organization.chips_per_rank == 8
+    assert organization.total_chips == 128
+    assert organization.peak_bandwidth == pytest.approx(4 * 25.6e9)
+
+
+def test_total_capacity_is_64gb():
+    model = MemoryPowerModel()
+    assert model.capacity_gb() == pytest.approx(64.0)
+
+
+def test_background_power_scales_with_chip_count():
+    model = MemoryPowerModel()
+    assert model.background_power() == pytest.approx(
+        128 * DDR4_4GBIT_X8.background_power
+    )
+
+
+def test_dynamic_power_uses_read_and_write_energies():
+    model = MemoryPowerModel()
+    power = model.dynamic_power(read_bandwidth=10e9, write_bandwidth=4e9)
+    expected = 10e9 * 0.2566e-9 + 4e9 * 0.2495e-9
+    assert power == pytest.approx(expected)
+
+
+def test_total_power_is_background_plus_dynamic():
+    model = MemoryPowerModel()
+    assert model.total_power(5e9, 1e9) == pytest.approx(
+        model.background_power() + model.dynamic_power(5e9, 1e9)
+    )
+
+
+def test_bandwidth_above_peak_rejected():
+    model = MemoryPowerModel()
+    with pytest.raises(ValueError, match="exceeds"):
+        model.dynamic_power(read_bandwidth=200e9)
+
+
+def test_negative_bandwidth_rejected():
+    model = MemoryPowerModel()
+    with pytest.raises(ValueError):
+        model.dynamic_power(read_bandwidth=-1.0)
+
+
+def test_lpddr4_background_much_lower_than_ddr4():
+    assert LPDDR4_4GBIT_X8.background_power < 0.25 * DDR4_4GBIT_X8.background_power
+
+
+def test_with_chip_swaps_profile():
+    model = MemoryPowerModel().with_chip(LPDDR4_4GBIT_X8)
+    assert model.chip is LPDDR4_4GBIT_X8
+    assert model.background_power() < MemoryPowerModel().background_power()
+
+
+def test_custom_profile_validation():
+    with pytest.raises(ValueError):
+        DramChipEnergyProfile(
+            name="broken",
+            idle_energy_per_cycle=-1.0,
+            read_energy_per_byte=0.2e-9,
+            write_energy_per_byte=0.2e-9,
+        )

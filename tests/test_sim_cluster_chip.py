@@ -1,0 +1,105 @@
+"""Tests for the trace-driven cluster and chip simulators."""
+
+import pytest
+
+from repro.sim.chip import ChipSimulator
+from repro.sim.cluster import ClusterSimConfig, ClusterSimulator
+from repro.sim.sampling import SmartsSampler
+from repro.workloads.banking_vm import VMS_LOW_MEM
+from repro.workloads.cloudsuite import DATA_SERVING, MEDIA_STREAMING
+
+
+RECORDS = 1500
+
+
+def run_cluster(workload, frequency, records=RECORDS, seed=42):
+    config = ClusterSimConfig(
+        workload=workload,
+        frequency_hz=frequency,
+        records_per_core=records,
+        trace_seed=seed,
+    )
+    return ClusterSimulator(config).run()
+
+
+def test_cluster_produces_positive_uipc():
+    result = run_cluster(DATA_SERVING, 2.0e9)
+    assert result.uipc > 0.0
+    assert result.instructions > 0
+    assert result.cycles > 0
+
+
+def test_cluster_aggregate_uipc_in_sane_range():
+    result = run_cluster(DATA_SERVING, 2.0e9)
+    # Aggregate over 4 cores: each core between 0.1 and 1.5 UIPC.
+    assert 0.4 <= result.uipc <= 6.0
+
+
+def test_uipc_higher_at_low_frequency():
+    slow = run_cluster(DATA_SERVING, 0.3e9)
+    fast = run_cluster(DATA_SERVING, 2.0e9)
+    assert slow.uipc > fast.uipc
+
+
+def test_uips_higher_at_high_frequency():
+    slow = run_cluster(DATA_SERVING, 0.3e9)
+    fast = run_cluster(DATA_SERVING, 2.0e9)
+    assert fast.cluster_uips > slow.cluster_uips
+
+
+def test_memory_bound_workload_generates_more_traffic_than_vm():
+    scale_out = run_cluster(DATA_SERVING, 2.0e9)
+    vm = run_cluster(VMS_LOW_MEM, 2.0e9)
+    assert scale_out.read_bandwidth > vm.read_bandwidth
+
+
+def test_cluster_counts_memory_traffic():
+    result = run_cluster(DATA_SERVING, 2.0e9)
+    assert result.memory_read_bytes > 0
+    assert result.memory_accesses > 0
+    assert result.average_memory_latency_ns > 10.0
+
+
+def test_memory_latency_in_ddr4_plausible_range():
+    for workload in (MEDIA_STREAMING, DATA_SERVING):
+        result = run_cluster(workload, 2.0e9)
+        # Unloaded DDR4 closed-row latency is ~33ns; queueing and
+        # conflicts should keep the average under ~100ns at this load.
+        assert 20.0 <= result.average_memory_latency_ns <= 100.0
+
+
+def test_cluster_deterministic_for_same_seed():
+    first = run_cluster(DATA_SERVING, 1.0e9, records=800, seed=7)
+    second = run_cluster(DATA_SERVING, 1.0e9, records=800, seed=7)
+    assert first.uipc == pytest.approx(second.uipc)
+    assert first.memory_read_bytes == second.memory_read_bytes
+
+
+def test_chip_simulator_scales_to_36_cores():
+    config = ClusterSimConfig(
+        workload=DATA_SERVING, frequency_hz=1.0e9, records_per_core=600
+    )
+    simulator = ChipSimulator(
+        cluster_config=config,
+        cluster_count=9,
+        sampler=SmartsSampler(initial_units=3, max_units=4, error_target=0.05),
+    )
+    result = simulator.run()
+    assert result.measurement.core_count == 36
+    assert result.chip_uips > 0
+    assert result.read_bandwidth > 0
+    assert result.cluster_count == 9
+
+
+def test_chip_simulator_sampling_reports_convergence_flag():
+    config = ClusterSimConfig(
+        workload=VMS_LOW_MEM, frequency_hz=1.0e9, records_per_core=500
+    )
+    simulator = ChipSimulator(
+        cluster_config=config,
+        cluster_count=9,
+        sampler=SmartsSampler(initial_units=3, max_units=6, error_target=0.10),
+    )
+    result = simulator.run()
+    assert isinstance(result.sampling.converged, bool)
+    assert len(result.sampling.values) >= 3

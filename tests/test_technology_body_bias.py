@@ -1,0 +1,73 @@
+"""Tests for the body-bias model."""
+
+import pytest
+
+from repro.technology.body_bias import (
+    BodyBiasModel,
+    RBB_SLEEP_LEAKAGE_REDUCTION,
+)
+from repro.technology.process import BULK_28NM, FDSOI_28NM
+
+
+@pytest.fixture
+def model():
+    return BodyBiasModel(FDSOI_28NM)
+
+
+def test_threshold_shift_is_85mv_per_volt(model):
+    assert model.threshold_shift(1.0) == pytest.approx(-0.085)
+    assert model.threshold_shift(-1.0) == pytest.approx(0.085)
+
+
+def test_effective_threshold_under_forward_bias(model):
+    assert model.effective_threshold(2.0) == pytest.approx(
+        FDSOI_28NM.threshold_voltage - 0.17
+    )
+
+
+def test_bias_outside_range_rejected(model):
+    with pytest.raises(ValueError):
+        model.threshold_shift(3.5)
+
+
+def test_usable_range_respects_variation_reserve(model):
+    assert model.usable_forward_bias == pytest.approx(3.0 * 0.85)
+    assert model.usable_reverse_bias == pytest.approx(3.0 * 0.85)
+
+
+def test_clamp_limits_bias(model):
+    assert model.clamp(10.0) == pytest.approx(model.usable_forward_bias)
+    assert model.clamp(-10.0) == pytest.approx(-model.usable_reverse_bias)
+    assert model.clamp(0.5) == pytest.approx(0.5)
+
+
+def test_transition_time_calibrated_to_a9_datapoint(model):
+    # 5mm^2 Cortex-A9 switching 0V -> 1.3V in under 1us.
+    assert model.transition_time(area_mm2=5.0, bias_swing=1.3) < 1.0e-6
+
+
+def test_transition_time_scales_with_area(model):
+    small = model.transition_time(area_mm2=1.0, bias_swing=1.0)
+    large = model.transition_time(area_mm2=10.0, bias_swing=1.0)
+    assert large == pytest.approx(10.0 * small)
+
+
+def test_sleep_leakage_reduction_order_of_magnitude(model):
+    assert model.sleep_leakage_fraction() == pytest.approx(
+        1.0 / RBB_SLEEP_LEAKAGE_REDUCTION
+    )
+
+
+def test_partial_rbb_gives_partial_reduction(model):
+    half = model.sleep_leakage_fraction(model.usable_reverse_bias / 2.0)
+    assert 1.0 / RBB_SLEEP_LEAKAGE_REDUCTION < half < 1.0
+
+
+def test_bulk_has_no_useful_sleep_mode():
+    bulk = BodyBiasModel(BULK_28NM)
+    assert bulk.sleep_leakage_fraction() > 0.4
+
+
+def test_variation_reserve_must_be_fraction():
+    with pytest.raises(ValueError):
+        BodyBiasModel(FDSOI_28NM, variation_reserve=1.5)

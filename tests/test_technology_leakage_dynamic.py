@@ -1,0 +1,104 @@
+"""Tests for the leakage and dynamic power models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.technology.dynamic_power import DynamicPowerModel
+from repro.technology.leakage import LeakageModel
+from repro.technology.process import FDSOI_28NM
+
+
+# -- leakage ---------------------------------------------------------------------
+
+
+def test_leakage_zero_when_power_gated():
+    model = LeakageModel(FDSOI_28NM)
+    assert model.power(0.0) == 0.0
+
+
+def test_leakage_at_nominal_matches_technology_value():
+    model = LeakageModel(FDSOI_28NM)
+    assert model.power(FDSOI_28NM.nominal_vdd) == pytest.approx(
+        FDSOI_28NM.leakage_nominal, rel=1e-6
+    )
+
+
+def test_leakage_decreases_with_voltage():
+    model = LeakageModel(FDSOI_28NM)
+    assert model.power(0.6) < model.power(1.0) < model.power(1.3)
+
+
+def test_forward_bias_increases_leakage():
+    model = LeakageModel(FDSOI_28NM)
+    nominal_vth = FDSOI_28NM.threshold_voltage
+    assert model.power(0.8, vth_eff=nominal_vth - 0.1) > model.power(0.8)
+
+
+def test_reverse_bias_decreases_leakage():
+    model = LeakageModel(FDSOI_28NM)
+    nominal_vth = FDSOI_28NM.threshold_voltage
+    assert model.power(0.8, vth_eff=nominal_vth + 0.1) < model.power(0.8)
+
+
+def test_temperature_doubles_leakage_per_step():
+    model = LeakageModel(FDSOI_28NM, temperature_doubling_kelvin=25.0)
+    cold = model.power(1.0, temperature_kelvin=330.0)
+    hot = model.power(1.0, temperature_kelvin=355.0)
+    assert hot == pytest.approx(2.0 * cold, rel=1e-6)
+
+
+def test_sleep_power_applies_fraction():
+    model = LeakageModel(FDSOI_28NM)
+    awake = model.power(0.8)
+    assert model.sleep_power(0.8, 0.1) == pytest.approx(0.1 * awake)
+
+
+# -- dynamic ----------------------------------------------------------------------
+
+
+def test_dynamic_power_scales_linearly_with_frequency():
+    model = DynamicPowerModel()
+    p1 = model.power(1.0, 1.0e9)
+    p2 = model.power(1.0, 2.0e9)
+    assert p2 == pytest.approx(2.0 * p1)
+
+
+def test_dynamic_power_scales_quadratically_with_voltage():
+    model = DynamicPowerModel()
+    p1 = model.power(0.5, 1.0e9)
+    p2 = model.power(1.0, 1.0e9)
+    assert p2 == pytest.approx(4.0 * p1)
+
+
+def test_activity_reduces_power_but_not_below_clock_tree():
+    model = DynamicPowerModel(clock_tree_fraction=0.25)
+    full = model.power(1.0, 1.0e9, activity=1.0)
+    idle = model.power(1.0, 1.0e9, activity=0.0)
+    assert idle == pytest.approx(0.25 * full)
+
+
+def test_energy_per_cycle_times_frequency_equals_power():
+    model = DynamicPowerModel()
+    energy = model.energy_per_cycle(0.9, activity=0.7)
+    assert energy * 1.5e9 == pytest.approx(model.power(0.9, 1.5e9, activity=0.7))
+
+
+def test_zero_frequency_gives_zero_power():
+    model = DynamicPowerModel()
+    assert model.power(1.0, 0.0) == 0.0
+
+
+def test_invalid_activity_rejected():
+    model = DynamicPowerModel()
+    with pytest.raises(ValueError):
+        model.power(1.0, 1e9, activity=1.2)
+
+
+@given(
+    st.floats(min_value=0.4, max_value=1.3),
+    st.floats(min_value=1e8, max_value=3.5e9),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_dynamic_power_is_non_negative(vdd, frequency, activity):
+    model = DynamicPowerModel()
+    assert model.power(vdd, frequency, activity) >= 0.0

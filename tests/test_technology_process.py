@@ -1,0 +1,101 @@
+"""Tests for process technology definitions."""
+
+import pytest
+
+from repro.technology.process import (
+    BULK_28NM,
+    FDSOI_28NM,
+    FDSOI_28NM_FBB,
+    TECHNOLOGIES,
+    ProcessTechnology,
+    technology_by_name,
+)
+
+
+def test_registry_contains_three_flavours():
+    assert set(TECHNOLOGIES) == {"bulk-28nm", "fdsoi-28nm", "fdsoi-28nm-fbb"}
+
+
+def test_lookup_by_name():
+    assert technology_by_name("fdsoi-28nm") is FDSOI_28NM
+
+
+def test_lookup_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown technology"):
+        technology_by_name("finfet-7nm")
+
+
+def test_bulk_cannot_reach_half_volt():
+    assert BULK_28NM.min_functional_vdd > 0.5
+
+
+def test_fdsoi_functional_at_half_volt():
+    assert FDSOI_28NM.min_functional_vdd == pytest.approx(0.5)
+
+
+def test_fdsoi_threshold_below_bulk():
+    assert FDSOI_28NM.threshold_voltage < BULK_28NM.threshold_voltage
+
+
+def test_fdsoi_body_bias_range_is_wide():
+    assert FDSOI_28NM.body_bias_max == pytest.approx(3.0)
+    assert FDSOI_28NM.body_bias_min == pytest.approx(-3.0)
+
+
+def test_fdsoi_body_effect_is_85mv_per_volt():
+    assert FDSOI_28NM.body_effect_coefficient == pytest.approx(0.085)
+
+
+def test_bulk_body_bias_range_is_narrow():
+    assert BULK_28NM.body_bias_max < 1.0
+
+
+def test_fbb_flavour_shares_fdsoi_parameters():
+    assert FDSOI_28NM_FBB.threshold_voltage == FDSOI_28NM.threshold_voltage
+    assert FDSOI_28NM_FBB.drive_factor == FDSOI_28NM.drive_factor
+    assert FDSOI_28NM_FBB.name != FDSOI_28NM.name
+
+
+def test_supports_forward_and_reverse_bias():
+    assert FDSOI_28NM.supports_forward_body_bias
+    assert FDSOI_28NM.supports_reverse_body_bias
+
+
+def test_with_name_returns_copy():
+    renamed = FDSOI_28NM.with_name("custom")
+    assert renamed.name == "custom"
+    assert renamed.threshold_voltage == FDSOI_28NM.threshold_voltage
+
+
+def test_invalid_body_bias_range_rejected():
+    with pytest.raises(ValueError):
+        ProcessTechnology(
+            name="broken",
+            threshold_voltage=0.4,
+            nominal_vdd=1.0,
+            min_functional_vdd=0.5,
+            drive_factor=1e9,
+            subthreshold_slope_factor=1.5,
+            body_bias_min=1.0,
+            body_bias_max=-1.0,
+            body_effect_coefficient=0.085,
+            leakage_nominal=0.1,
+            leakage_voltage_exponent=1.0,
+        )
+
+
+def test_negative_threshold_rejected():
+    with pytest.raises(ValueError):
+        ProcessTechnology(
+            name="broken",
+            threshold_voltage=-0.4,
+            nominal_vdd=1.0,
+            min_functional_vdd=0.5,
+            drive_factor=1e9,
+            subthreshold_slope_factor=1.5,
+            body_bias_min=0.0,
+            body_bias_max=1.0,
+            body_effect_coefficient=0.085,
+            leakage_nominal=0.1,
+            leakage_voltage_exponent=1.0,
+        )

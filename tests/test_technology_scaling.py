@@ -1,0 +1,73 @@
+"""Tests for core-generation scaling and DVFS anchors."""
+
+import pytest
+
+from repro.technology.scaling import (
+    CoreGenerationScaling,
+    DVFSAnchor,
+    EXYNOS_5433_DVFS_TABLE,
+    dvfs_voltage_curve,
+)
+
+
+def test_default_ratios_match_paper():
+    scaling = CoreGenerationScaling()
+    assert scaling.a57_over_a9 == pytest.approx(1.17)
+    assert scaling.a53_over_a9 == pytest.approx(1.08)
+
+
+def test_a9_to_a57_and_back_roundtrip():
+    scaling = CoreGenerationScaling()
+    assert scaling.a57_to_a9_frequency(
+        scaling.a9_to_a57_frequency(1.0e9)
+    ) == pytest.approx(1.0e9)
+
+
+def test_a57_faster_than_a53():
+    scaling = CoreGenerationScaling()
+    assert scaling.a9_to_a57_frequency(1e9) > scaling.a9_to_a53_frequency(1e9)
+
+
+def test_scale_dvfs_table_scales_frequencies_only():
+    scaling = CoreGenerationScaling()
+    scaled = scaling.scale_dvfs_table(EXYNOS_5433_DVFS_TABLE, 1.17)
+    assert scaled[0].frequency_hz == pytest.approx(
+        EXYNOS_5433_DVFS_TABLE[0].frequency_hz * 1.17
+    )
+    assert scaled[0].voltage == EXYNOS_5433_DVFS_TABLE[0].voltage
+
+
+def test_exynos_table_is_monotone():
+    frequencies = [anchor.frequency_hz for anchor in EXYNOS_5433_DVFS_TABLE]
+    voltages = [anchor.voltage for anchor in EXYNOS_5433_DVFS_TABLE]
+    assert frequencies == sorted(frequencies)
+    assert voltages == sorted(voltages)
+
+
+def test_dvfs_voltage_curve_interpolates():
+    curve = dvfs_voltage_curve(EXYNOS_5433_DVFS_TABLE)
+    v_at_1ghz = curve(1.0e9)
+    assert 0.90 <= v_at_1ghz <= 0.95
+
+
+def test_dvfs_voltage_curve_rejects_unsorted_anchors():
+    anchors = (
+        DVFSAnchor(frequency_hz=1.0e9, voltage=0.9),
+        DVFSAnchor(frequency_hz=0.5e9, voltage=0.8),
+    )
+    with pytest.raises(ValueError):
+        dvfs_voltage_curve(anchors)
+
+
+def test_dvfs_voltage_curve_rejects_decreasing_voltage():
+    anchors = (
+        DVFSAnchor(frequency_hz=0.5e9, voltage=0.9),
+        DVFSAnchor(frequency_hz=1.0e9, voltage=0.8),
+    )
+    with pytest.raises(ValueError):
+        dvfs_voltage_curve(anchors)
+
+
+def test_anchor_rejects_non_positive_values():
+    with pytest.raises(ValueError):
+        DVFSAnchor(frequency_hz=0.0, voltage=0.9)

@@ -1,0 +1,103 @@
+"""Tests for the transregional voltage-frequency model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.technology.process import BULK_28NM, FDSOI_28NM
+from repro.technology.vf_curve import TransregionalVFModel
+
+
+@pytest.fixture
+def fdsoi_model():
+    return TransregionalVFModel(FDSOI_28NM)
+
+
+@pytest.fixture
+def bulk_model():
+    return TransregionalVFModel(BULK_28NM)
+
+
+def test_frequency_increases_with_voltage(fdsoi_model):
+    frequencies = [fdsoi_model.max_frequency(v) for v in (0.5, 0.7, 0.9, 1.1, 1.3)]
+    assert frequencies == sorted(frequencies)
+    assert frequencies[0] < frequencies[-1]
+
+
+def test_fdsoi_reaches_about_3_5ghz_at_nominal(fdsoi_model):
+    assert fdsoi_model.max_frequency(1.3) == pytest.approx(3.5e9, rel=0.05)
+
+
+def test_fdsoi_near_100mhz_at_half_volt(fdsoi_model):
+    assert 50e6 <= fdsoi_model.max_frequency(0.5) <= 250e6
+
+
+def test_forward_body_bias_raises_frequency(fdsoi_model):
+    assert fdsoi_model.max_frequency(0.5, body_bias=1.5) > 4 * fdsoi_model.max_frequency(0.5)
+
+
+def test_fbb_exceeds_500mhz_at_half_volt(fdsoi_model):
+    assert fdsoi_model.max_frequency(0.5, body_bias=1.5) > 500e6
+
+
+def test_reverse_body_bias_lowers_frequency(fdsoi_model):
+    assert fdsoi_model.max_frequency(0.7, body_bias=-1.0) < fdsoi_model.max_frequency(0.7)
+
+
+def test_bulk_needs_higher_voltage_than_fdsoi(bulk_model, fdsoi_model):
+    for frequency in (0.3e9, 1.0e9, 2.0e9):
+        assert bulk_model.vdd_for_frequency(frequency) > fdsoi_model.vdd_for_frequency(
+            frequency
+        )
+
+
+def test_vdd_for_frequency_inverts_max_frequency(fdsoi_model):
+    for target in (0.2e9, 1.0e9, 2.0e9, 3.0e9):
+        vdd = fdsoi_model.vdd_for_frequency(target)
+        assert fdsoi_model.max_frequency(vdd) == pytest.approx(target, rel=1e-3)
+
+
+def test_vdd_for_unreachable_frequency_raises(fdsoi_model):
+    with pytest.raises(ValueError, match="cannot reach"):
+        fdsoi_model.vdd_for_frequency(10e9)
+
+
+def test_zero_voltage_gives_zero_frequency(fdsoi_model):
+    assert fdsoi_model.max_frequency(0.0) == 0.0
+
+
+def test_body_bias_outside_range_rejected(fdsoi_model):
+    with pytest.raises(ValueError, match="outside the allowed range"):
+        fdsoi_model.effective_threshold(body_bias=5.0)
+
+
+def test_effective_threshold_shift(fdsoi_model):
+    shifted = fdsoi_model.effective_threshold(body_bias=1.0)
+    assert shifted == pytest.approx(FDSOI_28NM.threshold_voltage - 0.085)
+
+
+def test_frequency_range_ordering(fdsoi_model):
+    low, high = fdsoi_model.frequency_range()
+    assert low < high
+
+
+def test_higher_temperature_slows_subthreshold_region():
+    cold = TransregionalVFModel(FDSOI_28NM, temperature_kelvin=300.0)
+    hot = TransregionalVFModel(FDSOI_28NM, temperature_kelvin=380.0)
+    # In the deep sub/near-threshold region the thermal voltage increase
+    # changes the curve; the model must remain monotone and positive.
+    assert hot.max_frequency(0.45) > 0.0
+    assert cold.max_frequency(1.2) > 0.0
+
+
+@given(st.floats(min_value=0.45, max_value=1.3), st.floats(min_value=0.46, max_value=1.31))
+def test_monotonicity_property(v1, v2):
+    model = TransregionalVFModel(FDSOI_28NM)
+    low, high = sorted((v1, v2))
+    assert model.max_frequency(low) <= model.max_frequency(high) + 1e-6
+
+
+@given(st.floats(min_value=1.5e8, max_value=3.4e9))
+def test_vdd_solution_is_within_physical_range(frequency):
+    model = TransregionalVFModel(FDSOI_28NM)
+    vdd = model.vdd_for_frequency(frequency)
+    assert 0.05 < vdd <= FDSOI_28NM.nominal_vdd + 1e-6

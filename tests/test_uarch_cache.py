@@ -1,0 +1,146 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.cache import CacheConfig, SetAssociativeCache
+from repro.utils.units import KB
+
+
+def make_cache(capacity=32 * KB, associativity=2):
+    return SetAssociativeCache(CacheConfig(capacity_bytes=capacity, associativity=associativity))
+
+
+def test_config_sets_and_lines():
+    config = CacheConfig(capacity_bytes=32 * KB, associativity=2, line_bytes=64)
+    assert config.sets == 256
+    assert config.lines == 512
+
+
+def test_config_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        CacheConfig(capacity_bytes=1000, associativity=3, line_bytes=64)
+
+
+def test_first_access_misses_second_hits():
+    cache = make_cache()
+    assert not cache.access(0x1000).hit
+    assert cache.access(0x1000).hit
+
+
+def test_same_line_different_offset_hits():
+    cache = make_cache()
+    cache.access(0x1000)
+    assert cache.access(0x1030).hit
+
+
+def test_lru_eviction_order():
+    cache = SetAssociativeCache(CacheConfig(capacity_bytes=256, associativity=2, line_bytes=64))
+    sets = cache.config.sets
+    # Three lines mapping to the same set: the first should be evicted.
+    a, b, c = 0, sets * 64, 2 * sets * 64
+    cache.access(a)
+    cache.access(b)
+    cache.access(c)
+    assert not cache.contains(a)
+    assert cache.contains(b)
+    assert cache.contains(c)
+
+
+def test_lru_updated_on_hit():
+    cache = SetAssociativeCache(CacheConfig(capacity_bytes=256, associativity=2, line_bytes=64))
+    sets = cache.config.sets
+    a, b, c = 0, sets * 64, 2 * sets * 64
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)  # refresh a, so b becomes LRU
+    cache.access(c)
+    assert cache.contains(a)
+    assert not cache.contains(b)
+
+
+def test_dirty_eviction_reports_writeback_address():
+    cache = SetAssociativeCache(CacheConfig(capacity_bytes=256, associativity=1, line_bytes=64))
+    sets = cache.config.sets
+    cache.access(0, is_write=True)
+    outcome = cache.access(sets * 64)
+    assert outcome.caused_writeback
+    assert outcome.evicted_dirty_address == 0
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_has_no_writeback():
+    cache = SetAssociativeCache(CacheConfig(capacity_bytes=256, associativity=1, line_bytes=64))
+    sets = cache.config.sets
+    cache.access(0, is_write=False)
+    outcome = cache.access(sets * 64)
+    assert not outcome.caused_writeback
+
+
+def test_write_through_counts_writebacks_immediately():
+    cache = SetAssociativeCache(
+        CacheConfig(capacity_bytes=256, associativity=1, line_bytes=64, write_back=False)
+    )
+    cache.access(0, is_write=True)
+    cache.access(0, is_write=True)
+    assert cache.stats.writebacks >= 1
+
+
+def test_invalidate_removes_line():
+    cache = make_cache()
+    cache.access(0x2000)
+    assert cache.invalidate(0x2000)
+    assert not cache.contains(0x2000)
+    assert not cache.invalidate(0x2000)
+
+
+def test_stats_hit_and_miss_rates():
+    cache = make_cache()
+    cache.access(0)
+    cache.access(0)
+    cache.access(64 * 1024 * 1024)
+    assert cache.stats.accesses == 3
+    assert cache.stats.hits == 1
+    assert cache.stats.hit_rate == pytest.approx(1 / 3)
+    assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+
+def test_mpki_computation():
+    cache = make_cache()
+    cache.access(0)
+    cache.access(1 << 20)
+    assert cache.stats.mpki(1000) == pytest.approx(2.0)
+
+
+def test_reset_stats_preserves_contents():
+    cache = make_cache()
+    cache.access(0x40)
+    cache.reset_stats()
+    assert cache.stats.accesses == 0
+    assert cache.contains(0x40)
+
+
+def test_negative_address_rejected():
+    with pytest.raises(ValueError):
+        make_cache().access(-4)
+
+
+def test_working_set_smaller_than_cache_always_hits_after_warmup():
+    cache = make_cache(capacity=32 * KB, associativity=2)
+    addresses = [line * 64 for line in range(256)]  # 16KB working set
+    for address in addresses:
+        cache.access(address)
+    cache.reset_stats()
+    for address in addresses:
+        cache.access(address)
+    assert cache.stats.hit_rate == pytest.approx(1.0)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 22), min_size=1, max_size=300))
+def test_resident_lines_never_exceed_capacity(addresses):
+    cache = SetAssociativeCache(CacheConfig(capacity_bytes=4 * KB, associativity=4, line_bytes=64))
+    for address in addresses:
+        cache.access(address)
+    assert cache.resident_lines <= cache.config.lines
+    assert cache.stats.hits + cache.stats.misses == cache.stats.accesses

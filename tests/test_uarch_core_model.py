@@ -1,0 +1,170 @@
+"""Tests for the branch, ROB, crossbar and interval core models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uarch.branch import BranchPredictorModel
+from repro.uarch.core_model import CoreConfig, IntervalCoreModel, UncoreLatencies
+from repro.uarch.interconnect import CrossbarModel
+from repro.uarch.rob import ReorderBufferModel
+from repro.workloads.cloudsuite import DATA_SERVING, MEDIA_STREAMING, WEB_SEARCH
+
+
+def _stack(model, workload, frequency, **overrides):
+    parameters = dict(
+        base_cpi=workload.base_cpi,
+        branch_fraction=workload.branch_fraction,
+        branch_predictability=workload.branch_predictability,
+        l1_mpki=workload.l1_mpki,
+        llc_mpki=workload.llc_mpki,
+        memory_level_parallelism=workload.memory_level_parallelism,
+    )
+    parameters.update(overrides)
+    return model.cpi_stack(frequency, **parameters)
+
+
+# -- branch predictor -------------------------------------------------------------------
+
+
+def test_branch_accuracy_with_perfect_predictability():
+    model = BranchPredictorModel(base_accuracy=0.95)
+    assert model.accuracy(1.0) == pytest.approx(0.95)
+
+
+def test_branch_accuracy_degrades_with_hard_workloads():
+    model = BranchPredictorModel()
+    assert model.accuracy(0.5) < model.accuracy(1.0)
+
+
+def test_branch_cpi_contribution_scales_with_fraction():
+    model = BranchPredictorModel()
+    assert model.cpi_contribution(0.2) == pytest.approx(2 * model.cpi_contribution(0.1))
+
+
+# -- reorder buffer ----------------------------------------------------------------------
+
+
+def test_window_limited_mlp_grows_with_miss_density():
+    rob = ReorderBufferModel(window_size=128)
+    assert rob.window_limited_mlp(40.0) > rob.window_limited_mlp(5.0)
+
+
+def test_effective_mlp_bounded_by_workload():
+    rob = ReorderBufferModel()
+    assert rob.effective_mlp(50.0, workload_mlp=2.0) == pytest.approx(2.0)
+
+
+def test_effective_mlp_at_least_one():
+    rob = ReorderBufferModel()
+    assert rob.effective_mlp(0.5, workload_mlp=4.0) >= 1.0
+
+
+def test_exposed_latency_divides_by_mlp():
+    rob = ReorderBufferModel()
+    exposed = rob.exposed_miss_latency(100.0, 20.0, workload_mlp=2.0)
+    assert exposed == pytest.approx(50.0)
+
+
+# -- crossbar ----------------------------------------------------------------------------
+
+
+def test_crossbar_latency_increases_with_load():
+    crossbar = CrossbarModel()
+    assert crossbar.round_trip_latency_ns(3.0e9) > crossbar.round_trip_latency_ns(0.0)
+
+
+def test_crossbar_utilization_capped():
+    crossbar = CrossbarModel()
+    assert crossbar.port_utilization(1e12) <= 0.99
+
+
+def test_crossbar_saturation_flag():
+    crossbar = CrossbarModel()
+    assert crossbar.saturated(1e11)
+    assert not crossbar.saturated(1e6)
+
+
+# -- interval model -----------------------------------------------------------------------
+
+
+def test_uipc_increases_as_frequency_decreases():
+    model = IntervalCoreModel()
+    uipc_low = _stack(model, DATA_SERVING, 0.2e9).uipc
+    uipc_high = _stack(model, DATA_SERVING, 2.0e9).uipc
+    assert uipc_low > uipc_high
+
+
+def test_uips_still_increases_with_frequency():
+    model = IntervalCoreModel()
+    assert _stack(model, DATA_SERVING, 2.0e9).uipc * 2.0e9 > (
+        _stack(model, DATA_SERVING, 0.2e9).uipc * 0.2e9
+    )
+
+
+def test_memory_bound_workload_has_larger_memory_component():
+    model = IntervalCoreModel()
+    data_serving = _stack(model, DATA_SERVING, 2.0e9)
+    web_search = _stack(model, WEB_SEARCH, 2.0e9)
+    assert data_serving.memory > web_search.memory
+
+
+def test_high_mlp_workload_hides_memory_latency():
+    model = IntervalCoreModel()
+    streaming = _stack(model, MEDIA_STREAMING, 2.0e9)
+    low_mlp = _stack(model, MEDIA_STREAMING, 2.0e9, memory_level_parallelism=1.0)
+    assert streaming.memory < low_mlp.memory
+
+
+def test_cpi_stack_total_and_uipc_consistent():
+    model = IntervalCoreModel()
+    stack = _stack(model, WEB_SEARCH, 1.0e9)
+    assert stack.total == pytest.approx(
+        stack.base + stack.branch + stack.llc + stack.memory
+    )
+    assert stack.uipc == pytest.approx(1.0 / stack.total)
+    assert 0.0 < stack.memory_bound_fraction < 1.0
+
+
+def test_llc_mpki_cannot_exceed_l1_mpki():
+    model = IntervalCoreModel()
+    with pytest.raises(ValueError):
+        _stack(model, WEB_SEARCH, 1.0e9, l1_mpki=5.0, llc_mpki=10.0)
+
+
+def test_uips_helper_matches_uipc_times_frequency():
+    model = IntervalCoreModel()
+    characteristics = dict(
+        base_cpi=0.7,
+        branch_fraction=0.15,
+        branch_predictability=0.9,
+        l1_mpki=20.0,
+        llc_mpki=5.0,
+        memory_level_parallelism=2.0,
+    )
+    assert model.uips(1.5e9, **characteristics) == pytest.approx(
+        model.uipc(1.5e9, **characteristics) * 1.5e9
+    )
+
+
+def test_custom_uncore_latency_changes_memory_component():
+    model = IntervalCoreModel()
+    slow_memory = _stack(
+        model, DATA_SERVING, 2.0e9, uncore=UncoreLatencies(memory_ns=140.0)
+    )
+    fast_memory = _stack(
+        model, DATA_SERVING, 2.0e9, uncore=UncoreLatencies(memory_ns=50.0)
+    )
+    assert slow_memory.memory > fast_memory.memory
+
+
+def test_core_config_defaults_match_paper():
+    config = CoreConfig()
+    assert config.issue_width == 3
+    assert config.window_size == 128
+
+
+@given(st.floats(min_value=1e8, max_value=2e9), st.floats(min_value=1.5e8, max_value=2e9))
+def test_uipc_monotone_nonincreasing_in_frequency(f1, f2):
+    model = IntervalCoreModel()
+    low, high = sorted((f1, f2))
+    assert _stack(model, DATA_SERVING, low).uipc >= _stack(model, DATA_SERVING, high).uipc - 1e-9

@@ -1,0 +1,118 @@
+"""Tests for the cluster cache hierarchy and coherence directory."""
+
+import pytest
+
+from repro.uarch.coherence import CoherenceDirectory, LineState
+from repro.uarch.hierarchy import ClusterCacheHierarchy, ServicedBy
+
+
+# -- coherence directory --------------------------------------------------------------
+
+
+def test_read_then_state_shared():
+    directory = CoherenceDirectory()
+    directory.read(0, 0x1000)
+    assert directory.state(0x1000) is LineState.SHARED
+    assert directory.sharers(0x1000) == {0}
+
+
+def test_write_makes_line_modified():
+    directory = CoherenceDirectory()
+    directory.write(1, 0x1000)
+    assert directory.state(0x1000) is LineState.MODIFIED
+    assert directory.sharers(0x1000) == {1}
+
+
+def test_write_invalidates_other_sharers():
+    directory = CoherenceDirectory()
+    directory.read(0, 0x40)
+    directory.read(1, 0x40)
+    invalidations = directory.write(2, 0x40)
+    assert invalidations == 2
+    assert directory.sharers(0x40) == {2}
+
+
+def test_read_of_modified_line_causes_transfer():
+    directory = CoherenceDirectory()
+    directory.write(0, 0x80)
+    transferred = directory.read(1, 0x80)
+    assert transferred
+    assert directory.state(0x80) is LineState.SHARED
+    assert directory.stats.cache_to_cache_transfers == 1
+    assert directory.stats.downgrade_writebacks == 1
+
+
+def test_evict_clears_entry():
+    directory = CoherenceDirectory()
+    directory.write(0, 0xC0)
+    directory.evict(0xC0)
+    assert directory.state(0xC0) is LineState.INVALID
+
+
+def test_invalid_core_id_rejected():
+    directory = CoherenceDirectory(core_count=4)
+    with pytest.raises(ValueError):
+        directory.read(4, 0)
+
+
+# -- hierarchy ---------------------------------------------------------------------------
+
+
+def test_first_access_goes_to_memory():
+    hierarchy = ClusterCacheHierarchy()
+    result = hierarchy.access(0, 0x100000)
+    assert result.serviced_by is ServicedBy.MEMORY
+    assert result.memory_reads == 1
+
+
+def test_second_access_hits_l1():
+    hierarchy = ClusterCacheHierarchy()
+    hierarchy.access(0, 0x100000)
+    result = hierarchy.access(0, 0x100000)
+    assert result.serviced_by is ServicedBy.L1
+    assert result.memory_reads == 0
+
+
+def test_other_core_hits_llc():
+    hierarchy = ClusterCacheHierarchy()
+    hierarchy.access(0, 0x200000)
+    result = hierarchy.access(1, 0x200000)
+    assert result.serviced_by is ServicedBy.LLC
+
+
+def test_write_by_other_core_invalidates_l1_copy():
+    hierarchy = ClusterCacheHierarchy()
+    hierarchy.access(0, 0x300000)
+    result = hierarchy.access(1, 0x300000, is_write=True)
+    assert result.coherence_invalidations >= 1
+    # Core 0 must now miss its L1 (the line was invalidated).
+    result_after = hierarchy.access(0, 0x300000)
+    assert result_after.serviced_by is not ServicedBy.L1
+
+
+def test_instruction_fetches_use_l1i():
+    hierarchy = ClusterCacheHierarchy()
+    hierarchy.access(0, 0x400000, is_instruction=True)
+    assert hierarchy.l1i[0].stats.accesses == 1
+    assert hierarchy.l1d[0].stats.accesses == 0
+
+
+def test_llc_misses_counted():
+    hierarchy = ClusterCacheHierarchy()
+    for line in range(100):
+        hierarchy.access(0, 0x10000000 + line * 64)
+    assert hierarchy.llc_misses() == 100
+    assert hierarchy.l1d_misses() == 100
+
+
+def test_invalid_core_rejected():
+    hierarchy = ClusterCacheHierarchy()
+    with pytest.raises(ValueError):
+        hierarchy.access(7, 0)
+
+
+def test_reset_stats():
+    hierarchy = ClusterCacheHierarchy()
+    hierarchy.access(0, 0)
+    hierarchy.reset_stats()
+    assert hierarchy.llc.stats.accesses == 0

@@ -1,0 +1,77 @@
+"""Tests for piecewise-linear interpolation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.interpolation import PiecewiseLinear, linspace, monotone_increasing
+
+
+def test_monotone_increasing_true():
+    assert monotone_increasing([1, 2, 2, 3])
+
+
+def test_monotone_increasing_strict_rejects_equal():
+    assert not monotone_increasing([1, 2, 2, 3], strict=True)
+
+
+def test_monotone_increasing_false():
+    assert not monotone_increasing([3, 2, 1])
+
+
+def test_piecewise_linear_at_knots():
+    curve = PiecewiseLinear([0.0, 1.0, 2.0], [0.0, 10.0, 40.0])
+    assert curve(0.0) == pytest.approx(0.0)
+    assert curve(1.0) == pytest.approx(10.0)
+    assert curve(2.0) == pytest.approx(40.0)
+
+
+def test_piecewise_linear_between_knots():
+    curve = PiecewiseLinear([0.0, 1.0], [0.0, 10.0])
+    assert curve(0.25) == pytest.approx(2.5)
+
+
+def test_piecewise_linear_extrapolates():
+    curve = PiecewiseLinear([0.0, 1.0], [0.0, 10.0])
+    assert curve(2.0) == pytest.approx(20.0)
+    assert curve(-1.0) == pytest.approx(-10.0)
+
+
+def test_piecewise_linear_inverse():
+    curve = PiecewiseLinear([0.0, 1.0, 2.0], [0.0, 5.0, 20.0])
+    assert curve.inverse(5.0) == pytest.approx(1.0)
+    assert curve.inverse(12.5) == pytest.approx(1.5)
+
+
+def test_piecewise_linear_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        PiecewiseLinear([0.0, 1.0], [1.0])
+
+
+def test_piecewise_linear_rejects_non_monotone_x():
+    with pytest.raises(ValueError):
+        PiecewiseLinear([0.0, 0.0, 1.0], [1.0, 2.0, 3.0])
+
+
+def test_piecewise_linear_domain():
+    curve = PiecewiseLinear([1.0, 4.0], [2.0, 3.0])
+    assert curve.domain == (1.0, 4.0)
+
+
+def test_linspace_endpoints():
+    values = linspace(0.0, 1.0, 5)
+    assert values[0] == 0.0
+    assert values[-1] == pytest.approx(1.0)
+    assert len(values) == 5
+
+
+def test_linspace_rejects_single_point():
+    with pytest.raises(ValueError):
+        linspace(0.0, 1.0, 1)
+
+
+@given(st.floats(min_value=-5.0, max_value=5.0))
+def test_piecewise_linear_is_monotone_for_monotone_knots(x):
+    curve = PiecewiseLinear([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 4.0, 9.0])
+    # For a curve with increasing knots, evaluating at x and x + delta
+    # must preserve ordering.
+    assert curve(x) <= curve(x + 0.5) + 1e-12

@@ -1,0 +1,35 @@
+"""Tests for plain-text table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+def test_format_table_contains_headers_and_rows():
+    text = format_table(("a", "b"), [(1, 2), (3, 4)])
+    assert "a" in text and "b" in text
+    assert "1" in text and "4" in text
+
+
+def test_format_table_alignment_consistent_line_lengths():
+    text = format_table(("name", "value"), [("x", 1.0), ("longer-name", 123456.0)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    # Header and separator lines have the same width.
+    assert len(lines[0]) == len(lines[1])
+
+
+def test_format_table_rejects_mismatched_row():
+    with pytest.raises(ValueError):
+        format_table(("a", "b"), [(1,)])
+
+
+def test_format_table_formats_floats_compactly():
+    text = format_table(("v",), [(0.123456789,)])
+    assert "0.1235" in text
+
+
+def test_format_series_includes_name():
+    text = format_series("efficiency", [1, 2], [3.0, 4.0])
+    assert text.startswith("efficiency")
+    assert "3" in text

@@ -1,0 +1,61 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+
+from repro.utils import units
+
+
+def test_mhz_to_hz():
+    assert units.mhz(100) == 100e6
+
+
+def test_ghz_to_hz():
+    assert units.ghz(2.0) == 2.0e9
+
+
+def test_to_mhz_roundtrip():
+    assert units.to_mhz(units.mhz(750)) == pytest.approx(750)
+
+
+def test_to_ghz_roundtrip():
+    assert units.to_ghz(units.ghz(1.3)) == pytest.approx(1.3)
+
+
+def test_nj_to_joules():
+    assert units.nj(0.0728) == pytest.approx(0.0728e-9)
+
+
+def test_joules_per_op_to_nj_roundtrip():
+    assert units.joules_per_op_to_nj(units.nj(0.2566)) == pytest.approx(0.2566)
+
+
+def test_mw_and_uw():
+    assert units.mw(25) == pytest.approx(0.025)
+    assert units.uw(500) == pytest.approx(0.0005)
+
+
+def test_ms_roundtrip():
+    assert units.seconds_to_ms(units.ms_to_seconds(20)) == pytest.approx(20)
+
+
+def test_capacity_constants():
+    assert units.MB == 1024 * units.KB
+    assert units.GB == 1024 * units.MB
+
+
+def test_cycles_to_seconds():
+    assert units.cycles_to_seconds(2.0e9, 2.0e9) == pytest.approx(1.0)
+
+
+def test_seconds_to_cycles():
+    assert units.seconds_to_cycles(0.5, 1.0e9) == pytest.approx(5.0e8)
+
+
+def test_cycles_to_seconds_rejects_zero_frequency():
+    with pytest.raises(ValueError):
+        units.cycles_to_seconds(100, 0.0)
+
+
+def test_seconds_to_cycles_rejects_negative_frequency():
+    with pytest.raises(ValueError):
+        units.seconds_to_cycles(1.0, -1.0)
