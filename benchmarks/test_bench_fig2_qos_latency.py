@@ -1,17 +1,20 @@
 """Figure 2: 99th-percentile latency normalised to QoS versus core frequency."""
 
 from repro.analysis.figures import figure2_series
-from repro.core.qos import QosAnalyzer
+from repro.sweep import SweepRunner
 from repro.utils.tables import format_table
 from repro.workloads.cloudsuite import scale_out_workloads
 
 
 def _build(configuration, frequencies):
-    series = figure2_series(configuration, frequencies)
-    analyzer = QosAnalyzer(configuration)
+    # One batched sweep provides both the latency curves and the floors.
+    workloads = scale_out_workloads()
+    sweep = SweepRunner.for_configuration(configuration).run(
+        workloads.values(), sorted(frequencies)
+    )
+    series = figure2_series(configuration, frequencies, sweep=sweep)
     floors = {
-        name: analyzer.qos_frequency_floor(workload, frequencies)
-        for name, workload in scale_out_workloads().items()
+        name: sweep.filter(workload_name=name).qos_floor() for name in workloads
     }
     return series, floors
 

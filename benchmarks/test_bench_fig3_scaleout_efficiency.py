@@ -5,24 +5,26 @@ lowest functional frequency, the SoC optimum moves to ~1GHz and the
 server optimum to ~1-1.2GHz.
 """
 
-from repro.analysis.figures import figure3_series
-from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
+from repro.analysis.figures import efficiency_series_by_scope
+from repro.analysis.tables import efficiency_optima_rows
+from repro.core.efficiency import EfficiencyScope
+from repro.sweep import SweepRunner
 from repro.utils.tables import format_table
 from repro.workloads.cloudsuite import scale_out_workloads
 
 
 def _build(configuration, frequencies):
-    series = {
-        scope: figure3_series(scope, configuration, frequencies)
-        for scope in EfficiencyScope
-    }
-    analyzer = EfficiencyAnalyzer(configuration)
+    # One batched sweep serves all three scopes and the optima table.
+    workloads = scale_out_workloads()
+    sweep = SweepRunner.for_configuration(configuration).run(
+        workloads.values(), frequencies
+    )
+    series = efficiency_series_by_scope(list(workloads), sweep)
     optima = {
-        name: {
-            scope.value: analyzer.optimal_frequency(workload, scope, frequencies).frequency_hz
-            for scope in EfficiencyScope
+        row["workload"]: {
+            scope.value: row[scope.value] for scope in EfficiencyScope
         }
-        for name, workload in scale_out_workloads().items()
+        for row in efficiency_optima_rows(sweep)
     }
     return series, optima
 

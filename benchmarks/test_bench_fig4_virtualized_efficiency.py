@@ -1,29 +1,28 @@
 """Figure 4: UIPS/Watt of the cores, SoC and server for the virtualized VMs."""
 
-from repro.analysis.figures import figure4_series
-from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
-from repro.core.performance import ServerPerformanceModel
+from repro.analysis.figures import efficiency_series_by_scope
+from repro.analysis.tables import efficiency_optima_rows
+from repro.core.efficiency import EfficiencyScope
+from repro.sweep import SweepRunner
 from repro.utils.tables import format_table
 from repro.workloads.banking_vm import VMS_HIGH_MEM, VMS_LOW_MEM, virtualized_workloads
 
 
 def _build(configuration, frequencies):
-    series = {
-        scope: figure4_series(scope, configuration, frequencies)
-        for scope in EfficiencyScope
-    }
-    analyzer = EfficiencyAnalyzer(configuration)
+    # One batched sweep serves all three scopes, the optima and the UIPS.
+    workloads = virtualized_workloads()
+    runner = SweepRunner.for_configuration(configuration)
+    sweep = runner.run(workloads.values(), frequencies)
+    series = efficiency_series_by_scope(list(workloads), sweep)
     optima = {
-        name: {
-            scope.value: analyzer.optimal_frequency(workload, scope, frequencies).frequency_hz
-            for scope in EfficiencyScope
+        row["workload"]: {
+            scope.value: row[scope.value] for scope in EfficiencyScope
         }
-        for name, workload in virtualized_workloads().items()
+        for row in efficiency_optima_rows(sweep)
     }
-    performance = ServerPerformanceModel(configuration)
     uips = {
-        name: performance.performance(workload, configuration.nominal_frequency_hz).chip_uips
-        for name, workload in virtualized_workloads().items()
+        name: runner.context.nominal_performance(workload).chip_uips
+        for name, workload in workloads.items()
     }
     return series, optima, uips
 

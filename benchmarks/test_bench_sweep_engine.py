@@ -1,0 +1,118 @@
+"""Sweep engine: batched SweepRunner versus the legacy per-point path.
+
+The legacy design-space loop rebuilt the performance/efficiency/power
+models on every property access and recomputed the CPI stack several
+times per point.  This benchmark times the batched runner on a
+figure-3-sized sweep (all scale-out workloads over the full frequency
+grid) and asserts it beats a faithful reimplementation of the legacy
+per-point path by at least 3x.
+"""
+
+import time
+
+from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
+from repro.core.performance import ServerPerformanceModel
+from repro.latency.tail import TailLatencyModel
+from repro.sweep import SweepRunner
+from repro.utils.tables import format_table
+from repro.workloads.cloudsuite import scale_out_workloads
+
+
+def _legacy_sweep(configuration, workloads, frequencies):
+    """The seed's per-point path: fresh models at every access."""
+    records = []
+    for workload in workloads:
+        for frequency in frequencies:
+            if not configuration.core_power_model().is_reachable(frequency):
+                continue
+            # Each accessor builds its own model stack, as the seed
+            # explorer's properties did.
+            performance = ServerPerformanceModel(configuration)
+            efficiency = EfficiencyAnalyzer(configuration)
+            point = performance.performance(workload, frequency)
+            nominal = performance.nominal_performance(workload)
+            operating_point = configuration.core_power_model().operating_point(
+                frequency, workload.activity_factor
+            )
+            core_power = efficiency.power(workload, frequency, EfficiencyScope.CORES)
+            soc_power = efficiency.power(workload, frequency, EfficiencyScope.SOC)
+            server_power = efficiency.power(
+                workload, frequency, EfficiencyScope.SERVER
+            )
+            latency = TailLatencyModel(workload).latency(
+                frequency, point.core_uips, nominal.core_uips
+            )
+            records.append(
+                (
+                    workload.name,
+                    frequency,
+                    operating_point.vdd,
+                    point.chip_uips,
+                    core_power,
+                    soc_power,
+                    server_power,
+                    performance.memory_read_bandwidth(workload, frequency),
+                    latency.meets_qos,
+                )
+            )
+    return records
+
+
+def _batched_sweep(configuration, workloads, frequencies):
+    return SweepRunner.for_configuration(configuration).run(workloads, frequencies)
+
+
+def _best_of(callable_, rounds=3):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_bench_sweep_engine(benchmark, server_configuration):
+    workloads = list(scale_out_workloads().values())
+    frequencies = server_configuration.frequency_grid
+
+    sweep = benchmark(_batched_sweep, server_configuration, workloads, frequencies)
+
+    legacy_seconds, legacy_records = _best_of(
+        lambda: _legacy_sweep(server_configuration, workloads, frequencies)
+    )
+    batched_seconds, _ = _best_of(
+        lambda: _batched_sweep(server_configuration, workloads, frequencies)
+    )
+    speedup = legacy_seconds / batched_seconds
+
+    print()
+    print("Sweep engine: figure-3-sized sweep (4 workloads x full grid)")
+    print(
+        format_table(
+            ("path", "points", "best time (ms)", "speedup"),
+            [
+                ("legacy per-point", len(legacy_records), f"{legacy_seconds * 1e3:.1f}", "1.0x"),
+                ("batched runner", len(sweep), f"{batched_seconds * 1e3:.1f}", f"{speedup:.1f}x"),
+            ],
+        )
+    )
+
+    # Both paths resolve the same design points with identical values.
+    assert len(sweep) == len(legacy_records)
+    for record, legacy in zip(sweep, legacy_records):
+        assert record.workload_name == legacy[0]
+        assert record.frequency_hz == legacy[1]
+        assert record.vdd == legacy[2]
+        assert record.chip_uips == legacy[3]
+        assert record.core_power == legacy[4]
+        assert record.soc_power == legacy[5]
+        assert record.server_power == legacy[6]
+        assert record.memory_read_bandwidth == legacy[7]
+        assert record.meets_qos == legacy[8]
+
+    # Acceptance floor for the refactor; in practice the margin is large.
+    # Wall-clock ratios are meaningless when benchmarking is disabled
+    # (CI smoke jobs on shared runners), so only assert on real runs.
+    if not benchmark.disabled:
+        assert speedup >= 3.0

@@ -2,18 +2,22 @@
 
 Reproduces the private-cloud part of the study for all four CloudSuite
 workloads: the latency-versus-frequency curves normalised to each QoS
-limit (Figure 2), the QoS frequency floors, and the efficiency curves at
+limit (Figure 2), the QoS frequency floors, and the efficiency optima at
 the cores / SoC / server scopes (Figure 3), ending with the operating
 point a QoS-aware DVFS governor should pick.
+
+Everything is derived from ONE batched sweep: the explorer evaluates
+each (workload, frequency) point exactly once and the latency curves,
+floors, optima and summary are all reductions over the same columnar
+table.
 
 Run with:  python examples/scaleout_qos_exploration.py
 """
 
+from repro.analysis.tables import efficiency_optima_rows
 from repro.core import (
     DesignSpaceExplorer,
-    EfficiencyAnalyzer,
-    EfficiencyScope,
-    QosAnalyzer,
+    SweepResult,
     default_server,
     render_summary,
 )
@@ -22,46 +26,51 @@ from repro.utils.units import to_mhz
 from repro.workloads import scale_out_workloads
 
 
-def print_latency_curves(analyzer: QosAnalyzer) -> None:
+def print_latency_curves(sweep: SweepResult) -> None:
     print("99th-percentile latency normalised to the QoS limit (Figure 2)")
-    for name, workload in scale_out_workloads().items():
-        result = analyzer.latency_curve(workload)
-        rows = [
-            (f"{point.frequency_hz / 1e6:.0f}", f"{point.normalized_to_qos:.2f}",
-             "ok" if point.meets_qos else "violated")
-            for point in result.points
-        ]
-        print(f"\n{name} (QoS floor {to_mhz(result.qos_floor_hz):.0f} MHz)")
-        print(format_table(("f (MHz)", "latency / QoS", "status"), rows))
-
-
-def print_efficiency_optima(analyzer: EfficiencyAnalyzer) -> None:
-    print("\nEfficiency optima per scope (Figure 3)")
-    rows = []
-    for name, workload in scale_out_workloads().items():
-        optima = analyzer.optimal_frequencies_all_scopes(workload)
-        rows.append(
+    for name, rows in sweep.group_by("workload_name").items():
+        table = [
             (
-                name,
-                f"{to_mhz(optima['cores'].frequency_hz):.0f}",
-                f"{to_mhz(optima['soc'].frequency_hz):.0f}",
-                f"{to_mhz(optima['server'].frequency_hz):.0f}",
+                f"{frequency / 1e6:.0f}",
+                f"{normalized:.2f}",
+                "ok" if meets else "violated",
             )
+            for frequency, normalized, meets in zip(
+                rows.column("frequency_hz"),
+                rows.column("latency_normalized_to_qos"),
+                rows.column("meets_qos"),
+            )
+        ]
+        floor = rows.qos_floor()
+        print(f"\n{name} (QoS floor {to_mhz(floor):.0f} MHz)")
+        print(format_table(("f (MHz)", "latency / QoS", "status"), table))
+
+
+def print_efficiency_optima(sweep: SweepResult) -> None:
+    print("\nEfficiency optima per scope (Figure 3)")
+    rows = [
+        (
+            optima["workload"],
+            f"{to_mhz(optima['cores']):.0f}",
+            f"{to_mhz(optima['soc']):.0f}",
+            f"{to_mhz(optima['server']):.0f}",
         )
+        for optima in efficiency_optima_rows(sweep)
+    ]
     print(format_table(("workload", "cores (MHz)", "SoC (MHz)", "server (MHz)"), rows))
 
 
 def main() -> None:
     configuration = default_server()
-    qos_analyzer = QosAnalyzer(configuration)
-    efficiency_analyzer = EfficiencyAnalyzer(configuration)
     explorer = DesignSpaceExplorer(configuration)
+    workloads = list(scale_out_workloads().values())
 
-    print_latency_curves(qos_analyzer)
-    print_efficiency_optima(efficiency_analyzer)
+    sweep = explorer.explore(workloads)
+    print_latency_curves(sweep)
+    print_efficiency_optima(sweep)
 
     print("\nSweep summary (QoS floors and best QoS-respecting operating points)")
-    print(render_summary(explorer.summarize_all(scale_out_workloads().values())))
+    print(render_summary(explorer.summarize_all(workloads)))
 
 
 if __name__ == "__main__":

@@ -7,23 +7,31 @@ analysis the discussion section proposes -- how many VMs fit on the
 near-threshold server under the relaxed 4x degradation bound and how
 much energy per unit of work that saves.
 
+The degradation floors and efficiency optima are reductions over one
+batched sweep of both VM classes (the degradation column of the sweep
+serves both the strict 2x and relaxed 4x bounds).
+
 Run with:  python examples/virtualized_consolidation.py
 """
 
 from repro.core import (
     ConsolidationAnalyzer,
-    EfficiencyAnalyzer,
+    DesignSpaceExplorer,
     EfficiencyScope,
-    QosAnalyzer,
     default_server,
 )
 from repro.utils.tables import format_table
 from repro.utils.units import ghz, to_mhz
 from repro.workloads import BitbrainsTraceModel, virtualized_workloads
+from repro.workloads.banking_vm import (
+    DEGRADATION_LIMIT_RELAXED,
+    DEGRADATION_LIMIT_STRICT,
+)
 
 
 def main() -> None:
     configuration = default_server()
+    explorer = DesignSpaceExplorer(configuration)
 
     print("Bitbrains-derived VM memory provisioning classes")
     classes = BitbrainsTraceModel().representative_classes()
@@ -34,27 +42,36 @@ def main() -> None:
         )
     )
 
-    qos = QosAnalyzer(configuration)
+    sweep = explorer.explore(virtualized_workloads().values())
+
     print("\nExecution-time degradation floors (Section V-A)")
     rows = []
-    for name, workload in virtualized_workloads().items():
-        curve = qos.degradation_curve(workload)
+    for name, points in sweep.group_by("workload_name").items():
+        floors = {
+            bound: points.qos_floor(bound)
+            for bound in (DEGRADATION_LIMIT_STRICT, DEGRADATION_LIMIT_RELAXED)
+        }
         rows.append(
             (
                 name,
-                f"{to_mhz(curve.floor_strict_hz):.0f}",
-                f"{to_mhz(curve.floor_relaxed_hz):.0f}",
+                f"{to_mhz(floors[DEGRADATION_LIMIT_STRICT]):.0f}",
+                f"{to_mhz(floors[DEGRADATION_LIMIT_RELAXED]):.0f}",
             )
         )
     print(format_table(("VM class", "floor @2x (MHz)", "floor @4x (MHz)"), rows))
 
-    efficiency = EfficiencyAnalyzer(configuration)
     print("\nServer-scope efficiency optima (Figure 4c)")
     rows = []
-    for name, workload in virtualized_workloads().items():
-        optimum = efficiency.optimal_frequency(workload, EfficiencyScope.SERVER)
-        rows.append((name, f"{to_mhz(optimum.frequency_hz):.0f}",
-                     f"{optimum.efficiency_guips_per_watt:.2f}"))
+    for name, points in sweep.group_by("workload_name").items():
+        efficiency = points.efficiency(EfficiencyScope.SERVER)
+        index = points.argmax(efficiency)
+        rows.append(
+            (
+                name,
+                f"{to_mhz(points.column('frequency_hz')[index]):.0f}",
+                f"{efficiency[index] / 1e9:.2f}",
+            )
+        )
     print(format_table(("VM class", "optimum (MHz)", "GUIPS/W"), rows))
 
     consolidation = ConsolidationAnalyzer(configuration)

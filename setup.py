@@ -1,12 +1,36 @@
-"""Setuptools shim.
+"""Setuptools metadata and shim.
 
-The canonical project metadata lives in ``pyproject.toml``.  This shim
-exists so the package can be installed in editable mode on offline
-machines that lack the ``wheel`` package required by PEP 660 editable
-installs (``python setup.py develop`` as a fallback for
-``pip install -e .``).
+This file is the canonical project metadata (there is no
+``pyproject.toml``); it also lets the package be installed in editable
+mode on offline machines that lack the ``wheel`` package required by
+PEP 660 editable installs (``python setup.py develop`` as a fallback
+for ``pip install -e .``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ntc-server",
+    version="0.1.0",
+    description=(
+        "Reproduction of a near-threshold FD-SOI scale-out server "
+        "design-space exploration (DATE'16)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        # Columnar sweep results (repro.sweep) are NumPy-backed.
+        "numpy>=1.22",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7.0",
+            "hypothesis>=6.0",
+        ],
+        "bench": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+        ],
+    },
+)

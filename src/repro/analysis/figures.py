@@ -3,6 +3,11 @@
 Every function returns plain data (frequencies plus one or more named
 series) so the benchmark harnesses can print the same rows/series the
 paper plots, and tests can assert on the shapes.
+
+Figures 2, 3 and 4 are all views of the same design-space sweep, so
+they are built from one batched :class:`~repro.sweep.runner.SweepRunner`
+pass over a shared model context; the per-scope efficiency series are
+sliced out of the columnar :class:`~repro.sweep.result.SweepResult`.
 """
 
 from __future__ import annotations
@@ -10,9 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from repro.core.config import ServerConfiguration, default_server
-from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
-from repro.core.qos import QosAnalyzer
+from repro.core.efficiency import EfficiencyScope
+from repro.sweep.result import SweepResult
+from repro.sweep.runner import SweepRunner
 from repro.technology.a57_model import default_flavour_models
 from repro.utils.units import mhz
 from repro.workloads.banking_vm import virtualized_workloads
@@ -74,15 +82,28 @@ def figure1_series(
 def figure2_series(
     configuration: ServerConfiguration | None = None,
     frequencies_hz: Sequence[float] | None = None,
+    sweep: SweepResult | None = None,
 ) -> Dict[str, FigureSeries]:
-    """99th-percentile latency normalised to QoS versus core frequency."""
+    """99th-percentile latency normalised to QoS versus core frequency.
+
+    ``sweep`` optionally reuses an existing sweep table (it must cover
+    the scale-out workloads) instead of running a new one.
+    """
     configuration = configuration or default_server()
-    analyzer = QosAnalyzer(configuration)
+    workloads = scale_out_workloads()
+    if sweep is None:
+        runner = SweepRunner.for_configuration(configuration)
+        grid = _sorted_grid(configuration, frequencies_hz)
+        sweep = runner.run(workloads.values(), grid)
     series = {}
-    for name, workload in scale_out_workloads().items():
-        result = analyzer.latency_curve(workload, frequencies_hz)
-        xs = tuple(point.frequency_hz / 1e9 for point in result.points)
-        ys = tuple(point.normalized_to_qos for point in result.points)
+    for name in workloads:
+        rows = sweep.filter(workload_name=name)
+        order = np.argsort(rows.column("frequency_hz"), kind="stable")
+        xs = tuple(float(f) / 1e9 for f in rows.column("frequency_hz")[order])
+        ys = tuple(
+            float(value)
+            for value in rows.column("latency_normalized_to_qos")[order]
+        )
         series[name] = FigureSeries(name, xs, ys)
     return series
 
@@ -90,20 +111,32 @@ def figure2_series(
 # -- Figures 3 and 4 --------------------------------------------------------------------
 
 
-def _efficiency_series(
+def efficiency_series_by_scope(
+    workload_names: Sequence[str],
+    sweep: SweepResult,
+) -> Dict[EfficiencyScope, Dict[str, FigureSeries]]:
+    """Per-scope efficiency (GUIPS/W) series sliced from one sweep table."""
+    result: Dict[EfficiencyScope, Dict[str, FigureSeries]] = {
+        scope: {} for scope in EfficiencyScope
+    }
+    for name in workload_names:
+        rows = sweep.filter(workload_name=name)
+        xs = tuple(float(f) / 1e9 for f in rows.column("frequency_hz"))
+        for scope in EfficiencyScope:
+            ys = tuple(float(v) / 1e9 for v in rows.efficiency(scope))
+            result[scope][name] = FigureSeries(name, xs, ys)
+    return result
+
+
+def _efficiency_figure(
     workloads: Dict[str, object],
     scope: EfficiencyScope,
     configuration: ServerConfiguration,
     frequencies_hz: Sequence[float] | None,
 ) -> Dict[str, FigureSeries]:
-    analyzer = EfficiencyAnalyzer(configuration)
-    series = {}
-    for name, workload in workloads.items():
-        points = analyzer.curve(workload, scope, frequencies_hz)
-        xs = tuple(point.frequency_hz / 1e9 for point in points)
-        ys = tuple(point.efficiency_guips_per_watt for point in points)
-        series[name] = FigureSeries(name, xs, ys)
-    return series
+    runner = SweepRunner.for_configuration(configuration)
+    sweep = runner.run(workloads.values(), frequencies_hz)
+    return efficiency_series_by_scope(list(workloads), sweep)[scope]
 
 
 def figure3_series(
@@ -116,7 +149,7 @@ def figure3_series(
     ``scope`` selects sub-figure (a) cores, (b) SoC or (c) server.
     """
     configuration = configuration or default_server()
-    return _efficiency_series(
+    return _efficiency_figure(
         scale_out_workloads(), scope, configuration, frequencies_hz
     )
 
@@ -128,6 +161,17 @@ def figure4_series(
 ) -> Dict[str, FigureSeries]:
     """Efficiency (GUIPS/W) versus frequency for the virtualized workloads."""
     configuration = configuration or default_server()
-    return _efficiency_series(
+    return _efficiency_figure(
         virtualized_workloads(), scope, configuration, frequencies_hz
     )
+
+
+def _sorted_grid(
+    configuration: ServerConfiguration, frequencies_hz: Sequence[float] | None
+) -> List[float]:
+    grid = (
+        frequencies_hz
+        if frequencies_hz is not None
+        else configuration.frequency_grid
+    )
+    return sorted(grid)

@@ -14,11 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.analysis.tables import efficiency_optima_rows
 from repro.core.config import ServerConfiguration, default_server
-from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
 from repro.core.energy_proportionality import EnergyProportionalityAnalyzer
-from repro.core.performance import ServerPerformanceModel
-from repro.core.qos import QosAnalyzer
+from repro.sweep.context import ModelContext
+from repro.sweep.result import SweepResult
+from repro.sweep.runner import SweepRunner
 from repro.technology.a57_model import default_flavour_models
 from repro.utils.units import ghz, mhz
 from repro.workloads.banking_vm import (
@@ -114,13 +115,16 @@ def _technology_checks() -> List[ClaimCheck]:
     return checks
 
 
-def _qos_checks(configuration: ServerConfiguration) -> List[ClaimCheck]:
-    analyzer = QosAnalyzer(configuration)
+def _floor(sweep: SweepResult, name: str, bound: float | None = None) -> float | None:
+    """Lowest swept frequency at which ``name`` meets its QoS/degradation bound."""
+    return sweep.filter(workload_name=name).qos_floor(bound)
+
+
+def _qos_checks(sweep: SweepResult) -> List[ClaimCheck]:
     checks = []
     floors = {}
-    for name, workload in scale_out_workloads().items():
-        floor = analyzer.qos_frequency_floor(workload)
-        floors[name] = floor
+    for name in scale_out_workloads():
+        floors[name] = _floor(sweep, name)
     all_in_range = all(
         floor is not None and mhz(100) <= floor <= mhz(500)
         for floor in floors.values()
@@ -139,13 +143,9 @@ def _qos_checks(configuration: ServerConfiguration) -> List[ClaimCheck]:
 
     relaxed_floors = []
     strict_floors = []
-    for workload in virtualized_workloads().values():
-        relaxed_floors.append(
-            analyzer.degradation_frequency_floor(workload, DEGRADATION_LIMIT_RELAXED)
-        )
-        strict_floors.append(
-            analyzer.degradation_frequency_floor(workload, DEGRADATION_LIMIT_STRICT)
-        )
+    for name in virtualized_workloads():
+        relaxed_floors.append(_floor(sweep, name, DEGRADATION_LIMIT_RELAXED))
+        strict_floors.append(_floor(sweep, name, DEGRADATION_LIMIT_STRICT))
     relaxed_ok = all(floor is not None and floor <= mhz(500) for floor in relaxed_floors)
     strict_ok = all(floor is not None and floor <= ghz(1.0) for floor in strict_floors)
     checks.append(
@@ -167,22 +167,17 @@ def _qos_checks(configuration: ServerConfiguration) -> List[ClaimCheck]:
     return checks
 
 
-def _efficiency_checks(configuration: ServerConfiguration) -> List[ClaimCheck]:
-    analyzer = EfficiencyAnalyzer(configuration)
+def _efficiency_checks(sweep: SweepResult, context: ModelContext) -> List[ClaimCheck]:
     checks = []
-    all_workloads = {**scale_out_workloads(), **virtualized_workloads()}
+    grid = context.reachable_frequencies()
 
     cores_at_floor = []
     soc_near_1ghz = []
     server_at_or_above_soc = []
-    for workload in all_workloads.values():
-        optima = analyzer.optimal_frequencies_all_scopes(workload)
-        grid = analyzer.reachable_frequencies()
-        cores_at_floor.append(optima["cores"].frequency_hz <= grid[1])
-        soc_near_1ghz.append(mhz(600) <= optima["soc"].frequency_hz <= mhz(1400))
-        server_at_or_above_soc.append(
-            optima["server"].frequency_hz >= optima["soc"].frequency_hz
-        )
+    for optima in efficiency_optima_rows(sweep):
+        cores_at_floor.append(optima["cores"] <= grid[1])
+        soc_near_1ghz.append(mhz(600) <= optima["soc"] <= mhz(1400))
+        server_at_or_above_soc.append(optima["server"] >= optima["soc"])
 
     checks.append(
         _check(
@@ -209,9 +204,8 @@ def _efficiency_checks(configuration: ServerConfiguration) -> List[ClaimCheck]:
         )
     )
 
-    performance = ServerPerformanceModel(configuration)
-    high = performance.performance(VMS_HIGH_MEM, configuration.nominal_frequency_hz)
-    low = performance.performance(VMS_LOW_MEM, configuration.nominal_frequency_hz)
+    high = context.nominal_performance(VMS_HIGH_MEM)
+    low = context.nominal_performance(VMS_LOW_MEM)
     checks.append(
         _check(
             "High-memory VMs achieve higher UIPS than low-memory VMs",
@@ -223,16 +217,18 @@ def _efficiency_checks(configuration: ServerConfiguration) -> List[ClaimCheck]:
     return checks
 
 
-def _proportionality_checks(configuration: ServerConfiguration) -> List[ClaimCheck]:
-    analyzer = EfficiencyAnalyzer(configuration)
-    ep = EnergyProportionalityAnalyzer(configuration)
+def _proportionality_checks(
+    sweep: SweepResult, context: ModelContext
+) -> List[ClaimCheck]:
+    ep = EnergyProportionalityAnalyzer(context.configuration)
     checks = []
 
     workload = scale_out_workloads()["Data Serving"]
-    grid = analyzer.reachable_frequencies()
+    grid = context.reachable_frequencies()
     low_frequency = grid[1]
-    server_power = analyzer.power(workload, low_frequency, EfficiencyScope.SERVER)
-    soc_power = analyzer.power(workload, low_frequency, EfficiencyScope.SOC)
+    rows = sweep.filter(workload_name=workload.name, frequency_hz=low_frequency)
+    server_power = float(rows.column("server_power")[0])
+    soc_power = float(rows.column("soc_power")[0])
     memory_share = (server_power - soc_power) / server_power
     checks.append(
         _check(
@@ -262,13 +258,20 @@ def _proportionality_checks(configuration: ServerConfiguration) -> List[ClaimChe
 def validate_paper_claims(
     configuration: ServerConfiguration | None = None,
 ) -> List[ClaimCheck]:
-    """Run every claim check against ``configuration`` (default server)."""
+    """Run every claim check against ``configuration`` (default server).
+
+    All sweep-derived checks share one batched pass over the full
+    (workload, frequency) grid.
+    """
     configuration = configuration or default_server()
+    runner = SweepRunner.for_configuration(configuration)
+    all_workloads = {**scale_out_workloads(), **virtualized_workloads()}
+    sweep = runner.run(all_workloads.values())
     checks: List[ClaimCheck] = []
     checks.extend(_technology_checks())
-    checks.extend(_qos_checks(configuration))
-    checks.extend(_efficiency_checks(configuration))
-    checks.extend(_proportionality_checks(configuration))
+    checks.extend(_qos_checks(sweep))
+    checks.extend(_efficiency_checks(sweep, runner.context))
+    checks.extend(_proportionality_checks(sweep, runner.context))
     return checks
 
 

@@ -12,7 +12,8 @@ workloads, latency) into the study the paper presents:
 * :mod:`repro.core.qos` -- tail-latency QoS floors for scale-out
   applications (Figure 2) and degradation floors for virtualized VMs.
 * :mod:`repro.core.dse` -- the design-space exploration engine tying
-  performance, power, efficiency and QoS together.
+  performance, power, efficiency and QoS together (a facade over the
+  batched sweep engine in :mod:`repro.sweep`).
 * :mod:`repro.core.energy_proportionality` -- energy-proportionality
   metrics and the DDR4 vs LPDDR4 memory ablation (Section V-C).
 * :mod:`repro.core.consolidation` -- workload co-allocation analysis for
@@ -28,7 +29,12 @@ from repro.core.efficiency import (
     EfficiencyScope,
 )
 from repro.core.qos import QosAnalyzer, QosResult, DegradationResult
-from repro.core.dse import DesignSpaceExplorer, OperatingPointRecord, DseSummary
+from repro.core.dse import (
+    DesignSpaceExplorer,
+    OperatingPointRecord,
+    DseSummary,
+    SweepResult,
+)
 from repro.core.energy_proportionality import (
     EnergyProportionalityAnalyzer,
     ProportionalityReport,
@@ -50,6 +56,7 @@ __all__ = [
     "DesignSpaceExplorer",
     "OperatingPointRecord",
     "DseSummary",
+    "SweepResult",
     "EnergyProportionalityAnalyzer",
     "ProportionalityReport",
     "ConsolidationAnalyzer",

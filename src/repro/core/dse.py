@@ -5,76 +5,44 @@ every (workload, frequency) pair in a sweep it produces a fully resolved
 :class:`OperatingPointRecord`, and summarises the sweep into the results
 the paper reports -- the QoS-feasible frequency range, the efficiency
 optima at each scope, and the best QoS-respecting operating point.
+
+The heavy lifting lives in :mod:`repro.sweep`: a shared
+:class:`~repro.sweep.context.ModelContext` builds every model once per
+configuration, and a :class:`~repro.sweep.runner.SweepRunner` batches
+all design points in one pass, returning a columnar
+:class:`~repro.sweep.result.SweepResult`.  This module is the
+backward-compatible facade: ``explore`` returns the columnar table
+(which still iterates as a sequence of records), and ``evaluate``
+resolves single points through the same cached context.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterable, List, Sequence
 
 from repro.core.config import ServerConfiguration
-from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
+from repro.core.efficiency import EfficiencyAnalyzer
 from repro.core.performance import ServerPerformanceModel
 from repro.core.qos import QosAnalyzer
-from repro.latency.degradation import BatchDegradationModel
-from repro.latency.tail import TailLatencyModel
+
+# Only repro.sweep.result is imported eagerly: it depends on nothing in
+# repro.core beyond the already-initialised efficiency module.  Pulling
+# context/runner here would close an import cycle (repro.sweep ->
+# repro.core.config -> repro.core.__init__ -> this module -> repro.sweep)
+# and break `import repro.sweep` as a first import, so those are
+# imported lazily where needed.
+from repro.sweep.result import DseSummary, OperatingPointRecord, SweepResult
 from repro.workloads.banking_vm import DEGRADATION_LIMIT_RELAXED
 from repro.workloads.base import WorkloadCharacteristics
 
-
-@dataclass(frozen=True)
-class OperatingPointRecord:
-    """Everything known about one (workload, frequency) design point."""
-
-    workload_name: str
-    workload_class: str
-    frequency_hz: float
-    vdd: float
-    uipc: float
-    chip_uips: float
-    core_power: float
-    soc_power: float
-    server_power: float
-    memory_read_bandwidth: float
-    memory_write_bandwidth: float
-    latency_seconds: float | None
-    latency_normalized_to_qos: float | None
-    degradation: float | None
-    meets_qos: bool
-
-    @property
-    def cores_efficiency(self) -> float:
-        """UIPS/W over the cores' power."""
-        return self.chip_uips / self.core_power if self.core_power > 0 else 0.0
-
-    @property
-    def soc_efficiency(self) -> float:
-        """UIPS/W over the SoC power."""
-        return self.chip_uips / self.soc_power if self.soc_power > 0 else 0.0
-
-    @property
-    def server_efficiency(self) -> float:
-        """UIPS/W over the whole-server power."""
-        return self.chip_uips / self.server_power if self.server_power > 0 else 0.0
-
-    def efficiency(self, scope: EfficiencyScope) -> float:
-        """Efficiency at the requested scope."""
-        if scope is EfficiencyScope.CORES:
-            return self.cores_efficiency
-        if scope is EfficiencyScope.SOC:
-            return self.soc_efficiency
-        return self.server_efficiency
-
-
-@dataclass(frozen=True)
-class DseSummary:
-    """Per-workload summary of a design-space sweep."""
-
-    workload_name: str
-    qos_floor_hz: float | None
-    optimal_frequency_by_scope: Dict[str, float]
-    best_qos_respecting_frequency: float | None
-    best_qos_respecting_efficiency: float | None
+__all__ = [
+    "DesignSpaceExplorer",
+    "OperatingPointRecord",
+    "DseSummary",
+    "SweepResult",
+]
 
 
 @dataclass(frozen=True)
@@ -84,20 +52,43 @@ class DesignSpaceExplorer:
     configuration: ServerConfiguration = field(default_factory=ServerConfiguration)
     degradation_bound: float = DEGRADATION_LIMIT_RELAXED
 
+    @cached_property
+    def context(self) -> "ModelContext":
+        """Shared model cache for this explorer's configuration."""
+        from repro.sweep.context import ModelContext
+
+        return ModelContext(
+            self.configuration, degradation_bound=self.degradation_bound
+        )
+
+    @cached_property
+    def runner(self) -> "SweepRunner":
+        """Batched sweep runner over the shared context."""
+        from repro.sweep.runner import SweepRunner
+
+        return SweepRunner(context=self.context)
+
     @property
     def performance_model(self) -> ServerPerformanceModel:
         """Analytical performance model for this configuration."""
-        return ServerPerformanceModel(self.configuration)
+        return self.context.performance_model
 
-    @property
+    @cached_property
     def efficiency_analyzer(self) -> EfficiencyAnalyzer:
         """Efficiency analyzer for this configuration."""
         return EfficiencyAnalyzer(self.configuration)
 
-    @property
+    @cached_property
     def qos_analyzer(self) -> QosAnalyzer:
         """QoS analyzer for this configuration."""
         return QosAnalyzer(self.configuration)
+
+    def _runner(self, parallel: bool) -> "SweepRunner":
+        if not parallel:
+            return self.runner
+        from repro.sweep.runner import SweepRunner
+
+        return SweepRunner(context=self.context, parallel=True)
 
     # -- record construction ------------------------------------------------------------
 
@@ -105,68 +96,22 @@ class DesignSpaceExplorer:
         self, workload: WorkloadCharacteristics, frequency_hz: float
     ) -> OperatingPointRecord:
         """Fully resolve one (workload, frequency) design point."""
-        performance = self.performance_model
-        efficiency = self.efficiency_analyzer
-        point = performance.performance(workload, frequency_hz)
-        nominal = performance.nominal_performance(workload)
-        operating_point = self.configuration.core_power_model().operating_point(
-            frequency_hz, workload.activity_factor
-        )
-
-        core_power = efficiency.power(workload, frequency_hz, EfficiencyScope.CORES)
-        soc_power = efficiency.power(workload, frequency_hz, EfficiencyScope.SOC)
-        server_power = efficiency.power(workload, frequency_hz, EfficiencyScope.SERVER)
-
-        latency_seconds = None
-        latency_normalized = None
-        degradation = None
-        if workload.is_scale_out:
-            latency_point = TailLatencyModel(workload).latency(
-                frequency_hz, point.core_uips, nominal.core_uips
-            )
-            latency_seconds = latency_point.latency_seconds
-            latency_normalized = latency_point.normalized_to_qos
-            meets_qos = latency_point.meets_qos
-        else:
-            degradation = BatchDegradationModel(workload).degradation(
-                point.core_uips, nominal.core_uips
-            )
-            meets_qos = degradation <= self.degradation_bound + 1e-9
-
-        return OperatingPointRecord(
-            workload_name=workload.name,
-            workload_class=workload.workload_class.value,
-            frequency_hz=frequency_hz,
-            vdd=operating_point.vdd,
-            uipc=point.uipc,
-            chip_uips=point.chip_uips,
-            core_power=core_power,
-            soc_power=soc_power,
-            server_power=server_power,
-            memory_read_bandwidth=performance.memory_read_bandwidth(
-                workload, frequency_hz
-            ),
-            memory_write_bandwidth=performance.memory_write_bandwidth(
-                workload, frequency_hz
-            ),
-            latency_seconds=latency_seconds,
-            latency_normalized_to_qos=latency_normalized,
-            degradation=degradation,
-            meets_qos=meets_qos,
-        )
+        return self.context.evaluate(workload, frequency_hz)
 
     def explore(
         self,
         workloads: Iterable[WorkloadCharacteristics],
         frequencies: Sequence[float] | None = None,
-    ) -> List[OperatingPointRecord]:
-        """Evaluate every (workload, reachable frequency) pair."""
-        grid = self.efficiency_analyzer.reachable_frequencies(frequencies)
-        records = []
-        for workload in workloads:
-            for frequency in grid:
-                records.append(self.evaluate(workload, frequency))
-        return records
+        parallel: bool = False,
+    ) -> SweepResult:
+        """Evaluate every (workload, reachable frequency) pair.
+
+        Returns the columnar :class:`SweepResult`; it iterates as a
+        sequence of :class:`OperatingPointRecord`, so record-list
+        consumers keep working unchanged.
+        """
+        runner = self._runner(parallel)
+        return runner.run(workloads, frequencies)
 
     # -- summaries -----------------------------------------------------------------------
 
@@ -176,40 +121,21 @@ class DesignSpaceExplorer:
         frequencies: Sequence[float] | None = None,
     ) -> DseSummary:
         """Summarise the sweep of one workload."""
-        records = self.explore([workload], frequencies)
-        qos_floor = self.qos_analyzer.frequency_floor(
-            workload, self.degradation_bound, frequencies
-        )
-        optima = {}
-        for scope in EfficiencyScope:
-            best = max(records, key=lambda record: record.efficiency(scope))
-            optima[scope.value] = best.frequency_hz
-
-        qos_ok = [record for record in records if record.meets_qos]
-        best_record = (
-            max(qos_ok, key=lambda record: record.server_efficiency)
-            if qos_ok
-            else None
-        )
-        return DseSummary(
-            workload_name=workload.name,
-            qos_floor_hz=qos_floor,
-            optimal_frequency_by_scope=optima,
-            best_qos_respecting_frequency=(
-                best_record.frequency_hz if best_record else None
-            ),
-            best_qos_respecting_efficiency=(
-                best_record.server_efficiency if best_record else None
-            ),
-        )
+        return self.runner.summarize([workload], frequencies)[0]
 
     def summarize_all(
         self,
         workloads: Iterable[WorkloadCharacteristics],
         frequencies: Sequence[float] | None = None,
+        parallel: bool = False,
     ) -> List[DseSummary]:
-        """Summaries for a set of workloads."""
-        return [self.summarize(workload, frequencies) for workload in workloads]
+        """Summaries for a set of workloads.
+
+        The whole set is swept in one batched pass -- each (workload,
+        frequency) point is evaluated exactly once.
+        """
+        runner = self._runner(parallel)
+        return runner.summarize(workloads, frequencies)
 
     # -- technology comparison -------------------------------------------------------------
 
@@ -222,14 +148,18 @@ class DesignSpaceExplorer:
         """Evaluate the same operating point across technology flavours.
 
         Flavours that cannot reach ``frequency_hz`` are omitted from the
-        result.
+        result; reachability is checked before any other model of the
+        flavour is built, so unreachable flavours cost nothing beyond
+        the voltage-frequency lookup.
         """
+        from repro.sweep.context import ModelContext
+
         results = {}
         for label, configuration in configurations.items():
-            explorer = DesignSpaceExplorer(
+            context = ModelContext(
                 configuration, degradation_bound=self.degradation_bound
             )
-            if not configuration.core_power_model().is_reachable(frequency_hz):
+            if not context.is_reachable(frequency_hz):
                 continue
-            results[label] = explorer.evaluate(workload, frequency_hz)
+            results[label] = context.evaluate(workload, frequency_hz)
         return results

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, List, Sequence
 
 from repro.core.config import ServerConfiguration
@@ -61,10 +62,22 @@ class EfficiencyAnalyzer:
 
     configuration: ServerConfiguration = field(default_factory=ServerConfiguration)
 
-    @property
+    @cached_property
     def performance_model(self) -> ServerPerformanceModel:
         """The analytical performance model for this configuration."""
         return ServerPerformanceModel(self.configuration)
+
+    @cached_property
+    def _soc_power_model(self):
+        return self.configuration.soc_power_model()
+
+    @cached_property
+    def _server_power_model(self):
+        return self.configuration.server_power_model()
+
+    @cached_property
+    def _core_power_model(self):
+        return self.configuration.core_power_model()
 
     # -- single points ----------------------------------------------------------------
 
@@ -75,35 +88,28 @@ class EfficiencyAnalyzer:
         scope: EfficiencyScope,
     ) -> float:
         """Power in watts of ``scope`` at the given operating point."""
-        performance = self.performance_model
-        llc_rate = performance.llc_accesses_per_second_per_cluster(
-            workload, frequency_hz
-        )
-        crossbar_bytes = performance.crossbar_bytes_per_second_per_cluster(
-            workload, frequency_hz
-        )
         if scope is EfficiencyScope.CORES:
-            return self.configuration.soc_power_model().core_power(
+            return self._soc_power_model.core_power(
                 frequency_hz, workload.activity_factor
             )
+        performance = self.performance_model
+        traffic = performance.traffic(
+            workload, performance.performance(workload, frequency_hz)
+        )
         if scope is EfficiencyScope.SOC:
-            return self.configuration.soc_power_model().total_power(
+            return self._soc_power_model.total_power(
                 frequency_hz,
                 workload.activity_factor,
-                llc_accesses_per_second=llc_rate,
-                crossbar_bytes_per_second=crossbar_bytes,
+                llc_accesses_per_second=traffic.llc_accesses_per_second_per_cluster,
+                crossbar_bytes_per_second=traffic.crossbar_bytes_per_second_per_cluster,
             )
-        return self.configuration.server_power_model().total_power(
+        return self._server_power_model.total_power(
             frequency_hz,
             workload.activity_factor,
-            memory_read_bandwidth=performance.memory_read_bandwidth(
-                workload, frequency_hz
-            ),
-            memory_write_bandwidth=performance.memory_write_bandwidth(
-                workload, frequency_hz
-            ),
-            llc_accesses_per_second=llc_rate,
-            crossbar_bytes_per_second=crossbar_bytes,
+            memory_read_bandwidth=traffic.read_bandwidth,
+            memory_write_bandwidth=traffic.write_bandwidth,
+            llc_accesses_per_second=traffic.llc_accesses_per_second_per_cluster,
+            crossbar_bytes_per_second=traffic.crossbar_bytes_per_second_per_cluster,
         )
 
     def efficiency(
@@ -166,7 +172,7 @@ class EfficiencyAnalyzer:
     # -- helpers ----------------------------------------------------------------------------
 
     def _reachable(self, frequency_hz: float) -> bool:
-        return self.configuration.core_power_model().is_reachable(frequency_hz)
+        return self._core_power_model.is_reachable(frequency_hz)
 
     def reachable_frequencies(
         self, frequencies: Iterable[float] | None = None

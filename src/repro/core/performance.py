@@ -11,9 +11,10 @@ produces the same quantities for calibration and validation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.core.config import ServerConfiguration
-from repro.uarch.core_model import CpiStack
+from repro.uarch.core_model import CpiStack, IntervalCoreModel
 from repro.utils.validation import check_positive
 from repro.workloads.base import WorkloadCharacteristics
 
@@ -46,17 +47,44 @@ class PerformancePoint:
 
 
 @dataclass(frozen=True)
+class TrafficPoint:
+    """Memory-system traffic of the server at one operating point.
+
+    Bandwidths are chip-level bytes/second; the LLC and crossbar rates
+    are per cluster.  The DRAM read/write demand is saturated at the
+    memory organisation's aggregate peak bandwidth (the channels cannot
+    transfer more than they physically provide), preserving the
+    workload's read/write mix.
+    """
+
+    read_bandwidth: float
+    write_bandwidth: float
+    llc_accesses_per_second_per_cluster: float
+    crossbar_bytes_per_second_per_cluster: float
+
+    @property
+    def total_memory_bandwidth(self) -> float:
+        """Combined DRAM read + write bandwidth in bytes/second."""
+        return self.read_bandwidth + self.write_bandwidth
+
+
+@dataclass(frozen=True)
 class ServerPerformanceModel:
     """Maps workloads and frequencies to throughput and memory traffic."""
 
     configuration: ServerConfiguration = field(default_factory=ServerConfiguration)
+
+    @cached_property
+    def core_model(self) -> IntervalCoreModel:
+        """The per-core interval model, built once per instance."""
+        return self.configuration.core_performance_model()
 
     def performance(
         self, workload: WorkloadCharacteristics, frequency_hz: float
     ) -> PerformancePoint:
         """Throughput of the server running ``workload`` at ``frequency_hz``."""
         check_positive("frequency_hz", frequency_hz)
-        core_model = self.configuration.core_performance_model()
+        core_model = self.core_model
         stack = core_model.cpi_stack(
             frequency_hz,
             base_cpi=workload.base_cpi,
@@ -76,39 +104,62 @@ class ServerPerformanceModel:
 
     # -- traffic ---------------------------------------------------------------------
 
+    def traffic(
+        self, workload: WorkloadCharacteristics, point: PerformancePoint
+    ) -> TrafficPoint:
+        """All memory-system traffic derived from one performance point.
+
+        The DRAM demand implied by the LLC miss rate is capped at the
+        memory organisation's peak bandwidth: a workload cannot consume
+        more bandwidth than the channels provide, so past that point the
+        channels saturate (the read/write mix is preserved).
+        """
+        fills_per_instruction = workload.llc_mpki / 1000.0
+        read_bandwidth = fills_per_instruction * point.chip_uips * LINE_BYTES
+        total_demand = read_bandwidth * (1.0 + workload.write_fraction)
+        peak = self.configuration.memory_organization.peak_bandwidth
+        if total_demand > peak:
+            read_bandwidth *= peak / total_demand
+        cluster_uips = point.core_uips * self.configuration.cores_per_cluster
+        llc_rate = workload.l1_mpki / 1000.0 * cluster_uips
+        return TrafficPoint(
+            read_bandwidth=read_bandwidth,
+            write_bandwidth=read_bandwidth * workload.write_fraction,
+            llc_accesses_per_second_per_cluster=llc_rate,
+            crossbar_bytes_per_second_per_cluster=llc_rate * LINE_BYTES,
+        )
+
     def memory_read_bandwidth(
         self, workload: WorkloadCharacteristics, frequency_hz: float
     ) -> float:
         """Chip-level DRAM read bandwidth in bytes/second."""
-        point = self.performance(workload, frequency_hz)
-        fills_per_instruction = workload.llc_mpki / 1000.0
-        return fills_per_instruction * point.chip_uips * LINE_BYTES
+        return self.traffic(
+            workload, self.performance(workload, frequency_hz)
+        ).read_bandwidth
 
     def memory_write_bandwidth(
         self, workload: WorkloadCharacteristics, frequency_hz: float
     ) -> float:
         """Chip-level DRAM write bandwidth in bytes/second."""
-        return (
-            self.memory_read_bandwidth(workload, frequency_hz)
-            * workload.write_fraction
-        )
+        return self.traffic(
+            workload, self.performance(workload, frequency_hz)
+        ).write_bandwidth
 
     def llc_accesses_per_second_per_cluster(
         self, workload: WorkloadCharacteristics, frequency_hz: float
     ) -> float:
         """LLC access rate of one cluster (for the LLC dynamic power term)."""
-        point = self.performance(workload, frequency_hz)
-        cluster_uips = point.core_uips * self.configuration.cores_per_cluster
-        return workload.l1_mpki / 1000.0 * cluster_uips
+        return self.traffic(
+            workload, self.performance(workload, frequency_hz)
+        ).llc_accesses_per_second_per_cluster
 
     def crossbar_bytes_per_second_per_cluster(
         self, workload: WorkloadCharacteristics, frequency_hz: float
     ) -> float:
         """Crossbar traffic of one cluster in bytes/second."""
-        return (
-            self.llc_accesses_per_second_per_cluster(workload, frequency_hz)
-            * LINE_BYTES
-        )
+        return self.traffic(
+            workload, self.performance(workload, frequency_hz)
+        ).crossbar_bytes_per_second_per_cluster
 
     # -- convenience ------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ Implements Section V-A of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import List, Sequence
 
 from repro.core.config import ServerConfiguration
@@ -55,14 +56,18 @@ class QosAnalyzer:
 
     configuration: ServerConfiguration = field(default_factory=ServerConfiguration)
 
-    @property
+    @cached_property
     def performance_model(self) -> ServerPerformanceModel:
         """Analytical performance model for this configuration."""
         return ServerPerformanceModel(self.configuration)
 
+    @cached_property
+    def _core_power_model(self):
+        return self.configuration.core_power_model()
+
     def _grid(self, frequencies: Sequence[float] | None) -> List[float]:
         grid = frequencies if frequencies is not None else self.configuration.frequency_grid
-        power_model = self.configuration.core_power_model()
+        power_model = self._core_power_model
         return sorted(f for f in grid if power_model.is_reachable(f))
 
     # -- scale-out -------------------------------------------------------------------

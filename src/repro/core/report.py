@@ -1,7 +1,9 @@
 """Plain-text reporting of design-space exploration results.
 
 The benchmark harnesses print the same rows/series the paper reports;
-these helpers render :class:`~repro.core.dse.OperatingPointRecord` and
+these helpers render sweep results -- a columnar
+:class:`~repro.sweep.result.SweepResult` or any iterable of
+:class:`~repro.core.dse.OperatingPointRecord` -- and
 :class:`~repro.core.dse.DseSummary` collections as aligned text tables.
 """
 
@@ -10,12 +12,19 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from repro.core.dse import DseSummary, OperatingPointRecord
+from repro.sweep.result import SweepResult
 from repro.utils.tables import format_table
 from repro.utils.units import to_mhz
 
 
-def render_operating_points(records: Iterable[OperatingPointRecord]) -> str:
-    """Render operating-point records as a table."""
+def render_operating_points(
+    records: SweepResult | Iterable[OperatingPointRecord],
+) -> str:
+    """Render operating-point records as a table.
+
+    Accepts a columnar :class:`SweepResult` (it iterates as a record
+    sequence) or any iterable of records.
+    """
     headers = (
         "workload",
         "f (MHz)",

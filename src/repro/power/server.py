@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.power.dram_power import MemoryPowerModel
 from repro.power.soc import SoCPowerBreakdown, SoCPowerModel
+from repro.technology.a57_model import CoreOperatingPoint
 from repro.utils.validation import check_non_negative
 
 
@@ -51,8 +52,14 @@ class ServerPowerModel:
         llc_accesses_per_second: float = 1.0e8,
         crossbar_bytes_per_second: float = 0.0,
         io_utilization: float = 1.0,
+        operating_point: CoreOperatingPoint | None = None,
     ) -> ServerPowerBreakdown:
-        """Power breakdown at the given operating point and memory traffic."""
+        """Power breakdown at the given operating point and memory traffic.
+
+        ``operating_point`` optionally forwards a memoized core
+        operating point to the SoC model (see
+        :meth:`repro.power.soc.SoCPowerModel.breakdown`).
+        """
         check_non_negative("memory_read_bandwidth", memory_read_bandwidth)
         check_non_negative("memory_write_bandwidth", memory_write_bandwidth)
         soc_breakdown = self.soc.breakdown(
@@ -61,6 +68,7 @@ class ServerPowerModel:
             llc_accesses_per_second,
             crossbar_bytes_per_second,
             io_utilization,
+            operating_point=operating_point,
         )
         return ServerPowerBreakdown(
             soc=soc_breakdown,
@@ -79,6 +87,7 @@ class ServerPowerModel:
         llc_accesses_per_second: float = 1.0e8,
         crossbar_bytes_per_second: float = 0.0,
         io_utilization: float = 1.0,
+        operating_point: CoreOperatingPoint | None = None,
     ) -> float:
         """Total server power in watts at the given operating point."""
         return self.breakdown(
@@ -89,4 +98,5 @@ class ServerPowerModel:
             llc_accesses_per_second,
             crossbar_bytes_per_second,
             io_utilization,
+            operating_point=operating_point,
         ).total

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.power.uncore import UncorePowerModel
-from repro.technology.a57_model import CortexA57PowerModel
+from repro.technology.a57_model import CoreOperatingPoint, CortexA57PowerModel
 from repro.utils.validation import check_fraction, check_positive
 
 
@@ -62,11 +62,20 @@ class SoCPowerModel:
         llc_accesses_per_second: float = 1.0e8,
         crossbar_bytes_per_second: float = 0.0,
         io_utilization: float = 1.0,
+        operating_point: CoreOperatingPoint | None = None,
     ) -> SoCPowerBreakdown:
-        """Power breakdown at the given core frequency and activity."""
+        """Power breakdown at the given core frequency and activity.
+
+        ``operating_point`` lets batched sweeps pass a memoized core
+        operating point for (``core_frequency_hz``, ``activity``)
+        instead of re-running the body-bias scan per call.
+        """
         check_positive("core_frequency_hz", core_frequency_hz)
         check_fraction("activity", activity)
-        operating_point = self.core_model.operating_point(core_frequency_hz, activity)
+        if operating_point is None:
+            operating_point = self.core_model.operating_point(
+                core_frequency_hz, activity
+            )
         core_voltage_ratio = (
             operating_point.vdd / self.core_model.technology.nominal_vdd
         )
@@ -96,6 +105,7 @@ class SoCPowerModel:
         llc_accesses_per_second: float = 1.0e8,
         crossbar_bytes_per_second: float = 0.0,
         io_utilization: float = 1.0,
+        operating_point: CoreOperatingPoint | None = None,
     ) -> float:
         """Total SoC power in watts at the given operating point."""
         return self.breakdown(
@@ -104,4 +114,5 @@ class SoCPowerModel:
             llc_accesses_per_second,
             crossbar_bytes_per_second,
             io_utilization,
+            operating_point=operating_point,
         ).total

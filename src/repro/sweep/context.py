@@ -1,0 +1,265 @@
+"""Shared model state for a design-space sweep.
+
+The seed implementation rebuilt every model object on each property
+access and recomputed the CPI stack up to six times per design point.
+:class:`ModelContext` constructs the performance, power and QoS models
+exactly once per :class:`~repro.core.config.ServerConfiguration` and
+memoizes the quantities that are shared across the sweep:
+
+* per-(frequency, activity) core operating points (the body-bias scan
+  behind vdd and the core power breakdown) -- shared across workloads;
+* per-frequency reachability;
+* per-(workload, frequency) performance points and fully-resolved
+  operating-point records.
+
+Every cached value is produced by the same frozen model objects the
+per-point path uses, so the records are numerically identical to the
+legacy evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.core.config import ServerConfiguration
+from repro.core.performance import PerformancePoint, ServerPerformanceModel
+from repro.latency.degradation import BatchDegradationModel
+from repro.latency.tail import TailLatencyModel
+from repro.power.server import ServerPowerModel
+from repro.power.soc import SoCPowerModel
+from repro.sweep.result import OperatingPointRecord
+from repro.technology.a57_model import CoreOperatingPoint, CortexA57PowerModel
+from repro.workloads.banking_vm import DEGRADATION_LIMIT_RELAXED
+from repro.workloads.base import WorkloadCharacteristics
+
+
+@dataclass(eq=False)
+class ModelContext:
+    """Caches every model of one server configuration for a sweep.
+
+    The context is cheap to construct (all models are built lazily) and
+    safe to share across the threads of a parallel sweep: cache entries
+    are immutable once computed, so a race at worst recomputes a value.
+    """
+
+    configuration: ServerConfiguration = field(default_factory=ServerConfiguration)
+    degradation_bound: float = DEGRADATION_LIMIT_RELAXED
+
+    def __post_init__(self) -> None:
+        self._operating_points: Dict[Tuple[float, float], CoreOperatingPoint] = {}
+        self._reachability: Dict[float, bool] = {}
+        self._performance_points: Dict[
+            Tuple[WorkloadCharacteristics, float], PerformancePoint
+        ] = {}
+        self._nominal_points: Dict[WorkloadCharacteristics, PerformancePoint] = {}
+        self._records: Dict[
+            Tuple[WorkloadCharacteristics, float], OperatingPointRecord
+        ] = {}
+        self._latency_models: Dict[WorkloadCharacteristics, TailLatencyModel] = {}
+        self._degradation_models: Dict[
+            WorkloadCharacteristics, BatchDegradationModel
+        ] = {}
+        self._grids: Dict[Tuple[float, ...] | None, Tuple[float, ...]] = {}
+
+    @property
+    def evaluated_points(self) -> int:
+        """Number of distinct design points resolved so far.
+
+        Derived from the record cache's size, so it stays correct under
+        the parallel sweep mode (a racing duplicate evaluation of the
+        same key overwrites rather than double-counts).
+        """
+        return len(self._records)
+
+    # -- shared model instances ---------------------------------------------------------
+
+    @cached_property
+    def performance_model(self) -> ServerPerformanceModel:
+        """The analytical performance model, built once."""
+        return ServerPerformanceModel(self.configuration)
+
+    @cached_property
+    def core_power_model(self) -> CortexA57PowerModel:
+        """The per-core technology/power model, built once."""
+        return self.configuration.core_power_model()
+
+    @cached_property
+    def soc_power_model(self) -> SoCPowerModel:
+        """The SoC power model, built once."""
+        return self.configuration.soc_power_model()
+
+    @cached_property
+    def server_power_model(self) -> ServerPowerModel:
+        """The whole-server power model, built once."""
+        return self.configuration.server_power_model()
+
+    # -- memoized per-frequency state ----------------------------------------------------
+
+    def operating_point(
+        self, frequency_hz: float, activity: float = 1.0
+    ) -> CoreOperatingPoint:
+        """Cached core operating point (vdd, bias, power) at a frequency."""
+        key = (frequency_hz, activity)
+        point = self._operating_points.get(key)
+        if point is None:
+            point = self.core_power_model.operating_point(frequency_hz, activity)
+            self._operating_points[key] = point
+        return point
+
+    def is_reachable(self, frequency_hz: float) -> bool:
+        """Cached reachability of a frequency for this flavour."""
+        reachable = self._reachability.get(frequency_hz)
+        if reachable is None:
+            try:
+                self.operating_point(frequency_hz)
+            except ValueError:
+                reachable = False
+            else:
+                reachable = True
+            self._reachability[frequency_hz] = reachable
+        return reachable
+
+    def reachable_frequencies(
+        self, frequencies: Iterable[float] | None = None
+    ) -> Tuple[float, ...]:
+        """The subset of the grid this technology flavour can reach."""
+        key = None if frequencies is None else tuple(frequencies)
+        grid = self._grids.get(key)
+        if grid is None:
+            candidates = key if key is not None else self.configuration.frequency_grid
+            grid = tuple(f for f in candidates if self.is_reachable(f))
+            self._grids[key] = grid
+        return grid
+
+    # -- memoized per-workload state -----------------------------------------------------
+
+    def performance(
+        self, workload: WorkloadCharacteristics, frequency_hz: float
+    ) -> PerformancePoint:
+        """Cached performance point (one CPI-stack computation per pair)."""
+        key = (workload, frequency_hz)
+        point = self._performance_points.get(key)
+        if point is None:
+            point = self.performance_model.performance(workload, frequency_hz)
+            self._performance_points[key] = point
+        return point
+
+    def nominal_performance(
+        self, workload: WorkloadCharacteristics
+    ) -> PerformancePoint:
+        """Cached performance at the configuration's nominal frequency."""
+        point = self._nominal_points.get(workload)
+        if point is None:
+            point = self.performance(
+                workload, self.configuration.nominal_frequency_hz
+            )
+            self._nominal_points[workload] = point
+        return point
+
+    def latency_model(self, workload: WorkloadCharacteristics) -> TailLatencyModel:
+        """Cached tail-latency model of a scale-out workload."""
+        model = self._latency_models.get(workload)
+        if model is None:
+            model = TailLatencyModel(workload)
+            self._latency_models[workload] = model
+        return model
+
+    def degradation_model(
+        self, workload: WorkloadCharacteristics
+    ) -> BatchDegradationModel:
+        """Cached degradation model of a virtualized workload."""
+        model = self._degradation_models.get(workload)
+        if model is None:
+            model = BatchDegradationModel(workload)
+            self._degradation_models[workload] = model
+        return model
+
+    # -- point evaluation ----------------------------------------------------------------
+
+    def evaluate(
+        self, workload: WorkloadCharacteristics, frequency_hz: float
+    ) -> OperatingPointRecord:
+        """Fully resolve one (workload, frequency) design point.
+
+        Identical in value to the legacy per-point path; every shared
+        intermediate (operating point, CPI stack, traffic) is computed
+        at most once per context.
+        """
+        key = (workload, frequency_hz)
+        record = self._records.get(key)
+        if record is not None:
+            return record
+
+        operating_point = self.operating_point(
+            frequency_hz, workload.activity_factor
+        )
+        point = self.performance(workload, frequency_hz)
+        nominal = self.nominal_performance(workload)
+        traffic = self.performance_model.traffic(workload, point)
+
+        core_power = operating_point.total_power * self.configuration.core_count
+        soc_power = self.soc_power_model.total_power(
+            frequency_hz,
+            workload.activity_factor,
+            llc_accesses_per_second=traffic.llc_accesses_per_second_per_cluster,
+            crossbar_bytes_per_second=traffic.crossbar_bytes_per_second_per_cluster,
+            operating_point=operating_point,
+        )
+        server_power = self.server_power_model.total_power(
+            frequency_hz,
+            workload.activity_factor,
+            memory_read_bandwidth=traffic.read_bandwidth,
+            memory_write_bandwidth=traffic.write_bandwidth,
+            llc_accesses_per_second=traffic.llc_accesses_per_second_per_cluster,
+            crossbar_bytes_per_second=traffic.crossbar_bytes_per_second_per_cluster,
+            operating_point=operating_point,
+        )
+
+        latency_seconds = None
+        latency_normalized = None
+        degradation = None
+        if workload.is_scale_out:
+            latency_point = self.latency_model(workload).latency(
+                frequency_hz, point.core_uips, nominal.core_uips
+            )
+            latency_seconds = latency_point.latency_seconds
+            latency_normalized = latency_point.normalized_to_qos
+            meets_qos = latency_point.meets_qos
+        else:
+            degradation = self.degradation_model(workload).degradation(
+                point.core_uips, nominal.core_uips
+            )
+            meets_qos = degradation <= self.degradation_bound + 1e-9
+
+        record = OperatingPointRecord(
+            workload_name=workload.name,
+            workload_class=workload.workload_class.value,
+            frequency_hz=frequency_hz,
+            vdd=operating_point.vdd,
+            uipc=point.uipc,
+            chip_uips=point.chip_uips,
+            core_power=core_power,
+            soc_power=soc_power,
+            server_power=server_power,
+            memory_read_bandwidth=traffic.read_bandwidth,
+            memory_write_bandwidth=traffic.write_bandwidth,
+            latency_seconds=latency_seconds,
+            latency_normalized_to_qos=latency_normalized,
+            degradation=degradation,
+            meets_qos=meets_qos,
+        )
+        self._records[key] = record
+        return record
+
+    def evaluate_workload(
+        self,
+        workload: WorkloadCharacteristics,
+        frequencies: Sequence[float] | None = None,
+    ) -> list:
+        """Records of one workload over the reachable grid, in grid order."""
+        return [
+            self.evaluate(workload, frequency)
+            for frequency in self.reachable_frequencies(frequencies)
+        ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.technology.body_bias import BodyBiasModel
 from repro.technology.dynamic_power import DynamicPowerModel
@@ -123,21 +124,28 @@ class CortexA57PowerModel:
             )
 
     # -- component models -------------------------------------------------------
+    # The component models are immutable and depend only on constructor
+    # fields, so they are built once per instance (the sweep engine calls
+    # operating_point thousands of times per flavour).
 
-    @property
+    @cached_property
     def vf_model(self) -> TransregionalVFModel:
         """The transregional voltage-frequency model for this flavour."""
         return TransregionalVFModel(self.technology, self.temperature_kelvin)
 
-    @property
+    @cached_property
     def body_bias_model(self) -> BodyBiasModel:
         """The body-bias model for this flavour."""
         return BodyBiasModel(self.technology)
 
-    @property
+    @cached_property
     def leakage_model(self) -> LeakageModel:
         """The leakage model for this flavour."""
         return LeakageModel(self.technology, vth_slope=self.leakage_vth_slope)
+
+    @cached_property
+    def _candidate_bias_grid(self) -> tuple:
+        return self._candidate_biases()
 
     # -- candidate biases ---------------------------------------------------------
 
@@ -179,7 +187,7 @@ class CortexA57PowerModel:
     def max_frequency(self) -> float:
         """Highest frequency reachable at nominal voltage (best allowed bias)."""
         best = 0.0
-        for bias in self._candidate_biases():
+        for bias in self._candidate_bias_grid:
             best = max(
                 best,
                 self.vf_model.max_frequency(self.technology.nominal_vdd, bias),
@@ -193,7 +201,7 @@ class CortexA57PowerModel:
         above 500MHz with forward body bias.
         """
         best = 0.0
-        for bias in self._candidate_biases():
+        for bias in self._candidate_bias_grid:
             best = max(
                 best,
                 self.vf_model.max_frequency(self.technology.min_functional_vdd, bias),
@@ -214,7 +222,7 @@ class CortexA57PowerModel:
         check_positive("frequency_hz", frequency_hz)
         check_fraction("activity", activity)
         best: CoreOperatingPoint | None = None
-        for bias in self._candidate_biases():
+        for bias in self._candidate_bias_grid:
             candidate = self._operating_point_at_bias(frequency_hz, bias, activity)
             if candidate is None:
                 continue

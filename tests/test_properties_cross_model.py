@@ -5,7 +5,7 @@ drawn operating points and workload characteristics, with hypothesis.
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.core.config import default_server
 from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
@@ -74,6 +74,19 @@ def test_uips_never_exceeds_issue_width_times_frequency(workload, frequency):
 
 @settings(max_examples=20, deadline=None)
 @given(workload=workloads, frequency=frequencies)
+@example(
+    # Regression: a memory-hungry workload whose DRAM demand exceeded the
+    # 102.4GB/s channel peak made the server-power scope raise instead of
+    # saturating the bandwidth (hypothesis-discovered seed failure).
+    workload=_workload(
+        base_cpi=0.400390625,
+        l1_mpki=42.0,
+        llc_fraction=1.0,
+        mlp=6.0,
+        activity=1.0,
+    ),
+    frequency=913990701.0,
+)
 def test_scope_power_ordering_holds_for_random_workloads(workload, frequency):
     analyzer = EfficiencyAnalyzer(default_server())
     cores = analyzer.power(workload, frequency, EfficiencyScope.CORES)
@@ -100,4 +113,12 @@ def test_memory_bandwidth_consistent_with_uips(workload, frequency):
     point = performance.performance(workload, frequency)
     read_bandwidth = performance.memory_read_bandwidth(workload, frequency)
     expected = workload.llc_mpki / 1000.0 * point.chip_uips * 64
+    # The DDR channels saturate: demand beyond the aggregate peak is
+    # capped with the read/write mix preserved.
+    peak = default_server().memory_organization.peak_bandwidth
+    demand = expected * (1.0 + workload.write_fraction)
+    if demand > peak:
+        expected *= peak / demand
     assert read_bandwidth == pytest.approx(expected)
+    write_bandwidth = performance.memory_write_bandwidth(workload, frequency)
+    assert read_bandwidth + write_bandwidth <= peak * (1.0 + 1e-9)
