@@ -1,38 +1,30 @@
 """Ablation (Section II-A): body-bias knobs of UTBB FD-SOI.
 
-Quantifies the three body-bias capabilities the paper lists: the 85mV/V
+Quantifies the three body-bias capabilities the paper lists -- the 85mV/V
 threshold shift, the boost frequency at the 0.5V near-threshold point,
-and the order-of-magnitude state-retentive sleep leakage reduction.
+and the order-of-magnitude state-retentive sleep leakage reduction -- by
+running the registered ``ablation_body_bias`` scenario.
 """
 
-from repro.technology.a57_model import BodyBiasPolicy, CortexA57PowerModel
-from repro.technology.body_bias import BodyBiasModel
-from repro.technology.leakage import LeakageModel
-from repro.technology.process import FDSOI_28NM, FDSOI_28NM_FBB
+from repro.scenarios import ScenarioRunner
 from repro.utils.tables import format_table
-from repro.utils.units import ghz, mhz
 
 
 def _build():
-    bias_model = BodyBiasModel(FDSOI_28NM)
-    leakage = LeakageModel(FDSOI_28NM)
-    rows = []
-    for bias in (0.0, 0.5, 1.0, 1.5, 2.0, 2.55):
-        model = CortexA57PowerModel(
-            technology=FDSOI_28NM_FBB,
-            bias_policy=BodyBiasPolicy.FIXED,
-            fixed_body_bias=bias if bias > 0 else 0.01,
+    result = ScenarioRunner().run("ablation_body_bias")
+    ablation = result.extras["body_bias"]
+    rows = [
+        (
+            row["forward_bias_v"],
+            row["effective_vth_v"],
+            row["max_frequency_at_0v5_hz"] / 1e6,
+            row["core_leakage_at_0v5_w"],
         )
-        vf_model = model.vf_model
-        boost = vf_model.max_frequency(0.5, body_bias=bias)
-        vth = bias_model.effective_threshold(bias)
-        leak = leakage.power(0.5, vth_eff=vth)
-        rows.append((bias, vth, boost / 1e6, leak))
+        for row in ablation["rows"]
+    ]
     sleep = {
-        "active leakage @0.8V (W)": leakage.power(0.8),
-        "RBB sleep leakage @0.8V (W)": leakage.sleep_power(
-            0.8, bias_model.sleep_leakage_fraction()
-        ),
+        "active leakage @0.8V (W)": ablation["sleep"]["active_leakage_at_0v8_w"],
+        "RBB sleep leakage @0.8V (W)": ablation["sleep"]["rbb_sleep_leakage_at_0v8_w"],
     }
     return rows, sleep
 

@@ -2,34 +2,31 @@
 
 The paper models 4-core clusters for simulation speed and verifies the
 cluster size does not change the trends.  This benchmark compares the
-efficiency-optimum locations for the two organisations.
+efficiency-optimum locations for the registered ``ablation_cluster_size``
+scenario (3 x 16-core clusters) against the same scenario re-pointed at
+the paper's default 9 x 4-core organisation.
 """
 
-from repro.core.config import default_server
-from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
+from repro.scenarios import ScenarioRunner, get_scenario
 from repro.utils.tables import format_table
-from repro.workloads.cloudsuite import WEB_SEARCH
+
+WORKLOAD = "Web Search"
 
 
 def _build(frequencies):
-    small_clusters = default_server()
-    # The 16-core cluster shares one 4MB LLC (the paper's optimal ratio);
-    # fewer clusters fit the die, keeping the core count comparable.
-    large_clusters = default_server().with_cluster_organization(
-        cluster_count=3, cores_per_cluster=16
+    runner = ScenarioRunner()
+    large_spec = get_scenario("ablation_cluster_size").with_overrides(
+        frequency_grid_hz=tuple(frequencies)
     )
+    # The paper's default organisation as the baseline for the same sweep.
+    small_spec = large_spec.with_overrides(cluster_count=9, cores_per_cluster=4)
     results = {}
-    for label, configuration in (
-        ("9 x 4-core clusters", small_clusters),
-        ("3 x 16-core clusters", large_clusters),
+    for label, spec in (
+        ("9 x 4-core clusters", small_spec),
+        ("3 x 16-core clusters", large_spec),
     ):
-        analyzer = EfficiencyAnalyzer(configuration)
-        results[label] = {
-            scope.value: analyzer.optimal_frequency(
-                WEB_SEARCH, scope, frequencies
-            ).frequency_hz
-            for scope in EfficiencyScope
-        }
+        result = runner.run(spec)
+        results[label] = result.extras["efficiency_optima"][WORKLOAD]
     return results
 
 

@@ -1,23 +1,20 @@
 """Ablation (Section V-C): DDR4 versus LPDDR4-class memory background power.
 
 The discussion argues that mobile-DRAM-class background power would make
-the server more energy proportional; this benchmark quantifies the
-proportionality index and the shift of the server-level optimum.
+the server more energy proportional; the registered
+``ablation_memory_tech`` scenario quantifies the proportionality index
+and the shift of the server-level optimum.
 """
 
-from repro.core.energy_proportionality import EnergyProportionalityAnalyzer
+from repro.scenarios import ScenarioRunner, get_scenario
 from repro.utils.tables import format_table
-from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH
 
 
 def _build(configuration, frequencies):
-    analyzer = EnergyProportionalityAnalyzer(configuration)
-    results = {}
-    for workload in (DATA_SERVING, WEB_SEARCH):
-        results[workload.name] = analyzer.memory_technology_comparison(
-            workload, frequencies=frequencies
-        )
-    return results
+    spec = get_scenario("ablation_memory_tech").with_overrides(
+        base_configuration=configuration, frequency_grid_hz=tuple(frequencies)
+    )
+    return ScenarioRunner().run(spec).extras["memory_technology"]
 
 
 def test_bench_ablation_memory_technology(
@@ -32,9 +29,9 @@ def test_bench_ablation_memory_technology(
                 (
                     workload_name,
                     chip_name,
-                    round(report.proportionality_index, 3),
-                    round(report.fixed_power_fraction_at_floor, 3),
-                    round(report.server_optimum_hz / 1e6),
+                    round(report["proportionality_index"], 3),
+                    round(report["fixed_power_fraction_at_floor"], 3),
+                    round(report["server_optimum_hz"] / 1e6),
                 )
             )
     print()
@@ -55,5 +52,5 @@ def test_bench_ablation_memory_technology(
     for comparison in results.values():
         ddr4 = comparison["ddr4-4gbit-x8"]
         lpddr4 = comparison["lpddr4-4gbit-x8"]
-        assert lpddr4.proportionality_index > ddr4.proportionality_index
-        assert lpddr4.server_optimum_hz <= ddr4.server_optimum_hz
+        assert lpddr4["proportionality_index"] > ddr4["proportionality_index"]
+        assert lpddr4["server_optimum_hz"] <= ddr4["server_optimum_hz"]

@@ -2,40 +2,36 @@
 
 Quantifies how many banking VMs can share the near-threshold server under
 the relaxed 4x degradation bound and how much energy per unit of work the
-best consolidated plan saves versus running at the nominal frequency.
+best consolidated plan saves versus running at the nominal frequency, by
+running the registered ``consolidation_oversubscribe`` scenario.
 """
 
-from repro.core.consolidation import ConsolidationAnalyzer
+from repro.scenarios import ScenarioRunner, get_scenario
 from repro.utils.tables import format_table
-from repro.utils.units import ghz
-from repro.workloads.banking_vm import virtualized_workloads
 
 
 def _build(configuration, frequencies):
-    analyzer = ConsolidationAnalyzer(configuration)
-    plans = {}
-    for name, workload in virtualized_workloads().items():
-        best = analyzer.best_plan(workload, frequencies)
-        naive = analyzer.plan(workload, ghz(2), vms_per_core=1)
-        plans[name] = (best, naive)
-    return plans
+    spec = get_scenario("consolidation_oversubscribe").with_overrides(
+        base_configuration=configuration, frequency_grid_hz=tuple(frequencies)
+    )
+    return ScenarioRunner().run(spec).extras["consolidation"]
 
 
 def test_bench_consolidation(benchmark, server_configuration, sweep_frequencies):
     plans = benchmark(_build, server_configuration, sweep_frequencies)
 
     rows = []
-    for name, (best, naive) in plans.items():
-        saving = 1.0 - best.energy_per_giga_instructions / naive.energy_per_giga_instructions
+    for name, result in plans.items():
+        best, naive = result["best"], result["naive"]
         rows.append(
             (
                 name,
-                round(best.frequency_hz / 1e6),
-                best.vm_count,
-                f"{best.degradation:.2f}x",
-                round(best.energy_per_giga_instructions, 2),
-                round(naive.energy_per_giga_instructions, 2),
-                f"{saving:.0%}",
+                round(best["frequency_hz"] / 1e6),
+                best["vm_count"],
+                f"{best['degradation']:.2f}x",
+                round(best["energy_per_giga_instructions"], 2),
+                round(naive["energy_per_giga_instructions"], 2),
+                f"{result['energy_saving_fraction']:.0%}",
             )
         )
     print()
@@ -55,7 +51,11 @@ def test_bench_consolidation(benchmark, server_configuration, sweep_frequencies)
         )
     )
 
-    for best, naive in plans.values():
-        assert best.degradation <= 4.0 + 1e-9
-        assert best.vm_count >= 36
-        assert best.energy_per_giga_instructions <= naive.energy_per_giga_instructions
+    for result in plans.values():
+        best, naive = result["best"], result["naive"]
+        assert best["degradation"] <= 4.0 + 1e-9
+        assert best["vm_count"] >= 36
+        assert (
+            best["energy_per_giga_instructions"]
+            <= naive["energy_per_giga_instructions"]
+        )

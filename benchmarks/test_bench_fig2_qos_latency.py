@@ -1,22 +1,20 @@
 """Figure 2: 99th-percentile latency normalised to QoS versus core frequency."""
 
 from repro.analysis.figures import figure2_series
-from repro.sweep import SweepRunner
+from repro.scenarios import ScenarioRunner, get_scenario
 from repro.utils.tables import format_table
-from repro.workloads.cloudsuite import scale_out_workloads
 
 
 def _build(configuration, frequencies):
-    # One batched sweep provides both the latency curves and the floors.
-    workloads = scale_out_workloads()
-    sweep = SweepRunner.for_configuration(configuration).run(
-        workloads.values(), sorted(frequencies)
+    # One registered scenario provides both the latency curves and the
+    # floors, re-pointed at the benchmark's configuration and grid.
+    spec = get_scenario("fig2_qos").with_overrides(
+        base_configuration=configuration,
+        frequency_grid_hz=tuple(sorted(frequencies)),
     )
-    series = figure2_series(configuration, frequencies, sweep=sweep)
-    floors = {
-        name: sweep.filter(workload_name=name).qos_floor() for name in workloads
-    }
-    return series, floors
+    result = ScenarioRunner().run(spec)
+    series = figure2_series(configuration, frequencies, sweep=result.sweep)
+    return series, result.extras["qos_floors"]
 
 
 def test_bench_figure2_qos_latency(benchmark, server_configuration, sweep_frequencies):

@@ -6,27 +6,19 @@ server optimum to ~1-1.2GHz.
 """
 
 from repro.analysis.figures import efficiency_series_by_scope
-from repro.analysis.tables import efficiency_optima_rows
 from repro.core.efficiency import EfficiencyScope
-from repro.sweep import SweepRunner
+from repro.scenarios import ScenarioRunner, get_scenario
 from repro.utils.tables import format_table
-from repro.workloads.cloudsuite import scale_out_workloads
 
 
 def _build(configuration, frequencies):
-    # One batched sweep serves all three scopes and the optima table.
-    workloads = scale_out_workloads()
-    sweep = SweepRunner.for_configuration(configuration).run(
-        workloads.values(), frequencies
+    # One registered scenario serves all three scopes and the optima table.
+    spec = get_scenario("fig3_scaleout").with_overrides(
+        base_configuration=configuration, frequency_grid_hz=tuple(frequencies)
     )
-    series = efficiency_series_by_scope(list(workloads), sweep)
-    optima = {
-        row["workload"]: {
-            scope.value: row[scope.value] for scope in EfficiencyScope
-        }
-        for row in efficiency_optima_rows(sweep)
-    }
-    return series, optima
+    result = ScenarioRunner().run(spec)
+    series = efficiency_series_by_scope(list(spec.workloads()), result.sweep)
+    return series, result.extras["efficiency_optima"]
 
 
 def test_bench_figure3_scaleout_efficiency(

@@ -1,30 +1,20 @@
 """Figure 4: UIPS/Watt of the cores, SoC and server for the virtualized VMs."""
 
 from repro.analysis.figures import efficiency_series_by_scope
-from repro.analysis.tables import efficiency_optima_rows
 from repro.core.efficiency import EfficiencyScope
-from repro.sweep import SweepRunner
+from repro.scenarios import ScenarioRunner, get_scenario
 from repro.utils.tables import format_table
-from repro.workloads.banking_vm import VMS_HIGH_MEM, VMS_LOW_MEM, virtualized_workloads
+from repro.workloads.banking_vm import VMS_HIGH_MEM, VMS_LOW_MEM
 
 
 def _build(configuration, frequencies):
-    # One batched sweep serves all three scopes, the optima and the UIPS.
-    workloads = virtualized_workloads()
-    runner = SweepRunner.for_configuration(configuration)
-    sweep = runner.run(workloads.values(), frequencies)
-    series = efficiency_series_by_scope(list(workloads), sweep)
-    optima = {
-        row["workload"]: {
-            scope.value: row[scope.value] for scope in EfficiencyScope
-        }
-        for row in efficiency_optima_rows(sweep)
-    }
-    uips = {
-        name: runner.context.nominal_performance(workload).chip_uips
-        for name, workload in workloads.items()
-    }
-    return series, optima, uips
+    # One registered scenario serves all three scopes, the optima and the UIPS.
+    spec = get_scenario("fig4_virtualized").with_overrides(
+        base_configuration=configuration, frequency_grid_hz=tuple(frequencies)
+    )
+    result = ScenarioRunner().run(spec)
+    series = efficiency_series_by_scope(list(spec.workloads()), result.sweep)
+    return series, result.extras["efficiency_optima"], result.extras["nominal_uips"]
 
 
 def test_bench_figure4_virtualized_efficiency(

@@ -1,11 +1,12 @@
 """Table I: DDR4 chip energies and the derived memory-subsystem power."""
 
-from repro.analysis.tables import memory_power_summary, table1_rows
+from repro.scenarios import ScenarioRunner
 from repro.utils.tables import format_table
 
 
 def _build_table():
-    return table1_rows(), memory_power_summary()
+    extras = ScenarioRunner().run("table1_ddr4").extras["memory_table"]
+    return extras["table1_rows"], extras["summary"]
 
 
 def test_bench_table1_ddr4_energy(benchmark):

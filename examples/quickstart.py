@@ -1,42 +1,41 @@
 """Quickstart: explore the near-threshold server for one workload.
 
-Builds the paper's default 36-core FD-SOI server, sweeps the core
-frequency for the Web Search workload in one batched pass, and prints
-the operating-point table, the QoS floor and the efficiency optima at
-the three scopes.
+Describes the experiment as a declarative :class:`ScenarioSpec` (the
+same object every registered experiment uses), runs it through the
+:class:`ScenarioRunner`, and prints the operating-point table, the QoS
+floor and the efficiency optima at the three scopes.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import (
-    DesignSpaceExplorer,
-    EfficiencyScope,
-    default_server,
-    render_operating_points,
-)
+from repro.core import EfficiencyScope, render_operating_points
+from repro.scenarios import ScenarioRunner, ScenarioSpec
 from repro.utils.units import mhz, to_mhz
-from repro.workloads import WEB_SEARCH
 
 
 def main() -> None:
-    configuration = default_server()
-    explorer = DesignSpaceExplorer(configuration)
+    spec = ScenarioSpec(
+        name="quickstart",
+        title="Web Search on the default FD-SOI near-threshold server",
+        workload_set="scale-out",
+        workload_names=("Web Search",),
+        frequency_grid_hz=tuple(
+            mhz(value) for value in (200, 300, 500, 800, 1000, 1200, 1600, 2000)
+        ),
+    )
+    result = ScenarioRunner().run(spec)
 
-    frequencies = [mhz(value) for value in (200, 300, 500, 800, 1000, 1200, 1600, 2000)]
-    # One batched pass; the result is a columnar table that still
-    # iterates as a sequence of operating-point records.
-    records = explorer.explore([WEB_SEARCH], frequencies)
     print("Operating points for Web Search on the FD-SOI near-threshold server")
-    print(render_operating_points(records))
+    print(render_operating_points(result.sweep))
     print()
 
-    qos_ok = records.filter(meets_qos=True)
+    qos_ok = result.sweep.filter(meets_qos=True)
     best = qos_ok.best(qos_ok.efficiency(EfficiencyScope.SERVER))
     print(
         f"Best QoS-ok point from the columnar table: {to_mhz(best.frequency_hz):.0f} MHz"
     )
 
-    summary = explorer.summarize(WEB_SEARCH, frequencies)
+    summary = result.summary_by_workload()["Web Search"]
     print(f"QoS floor:                 {to_mhz(summary.qos_floor_hz):.0f} MHz")
     for scope, frequency in summary.optimal_frequency_by_scope.items():
         print(f"Efficiency optimum ({scope:6s}): {to_mhz(frequency):.0f} MHz")

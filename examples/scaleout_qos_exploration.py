@@ -1,29 +1,24 @@
 """Scale-out cloud scenario: QoS-constrained near-threshold operation.
 
 Reproduces the private-cloud part of the study for all four CloudSuite
-workloads: the latency-versus-frequency curves normalised to each QoS
-limit (Figure 2), the QoS frequency floors, and the efficiency optima at
-the cores / SoC / server scopes (Figure 3), ending with the operating
-point a QoS-aware DVFS governor should pick.
+workloads by running the registered ``fig3_scaleout`` scenario: the
+latency-versus-frequency curves normalised to each QoS limit (Figure 2),
+the QoS frequency floors, and the efficiency optima at the cores / SoC /
+server scopes (Figure 3), ending with the operating point a QoS-aware
+DVFS governor should pick.
 
-Everything is derived from ONE batched sweep: the explorer evaluates
-each (workload, frequency) point exactly once and the latency curves,
-floors, optima and summary are all reductions over the same columnar
-table.
+Everything is derived from ONE batched sweep: the scenario runner
+evaluates each (workload, frequency) point exactly once and the latency
+curves, floors, optima and summaries are all reductions over the same
+columnar table.
 
 Run with:  python examples/scaleout_qos_exploration.py
 """
 
-from repro.analysis.tables import efficiency_optima_rows
-from repro.core import (
-    DesignSpaceExplorer,
-    SweepResult,
-    default_server,
-    render_summary,
-)
+from repro.core import SweepResult, render_summary
+from repro.scenarios import ScenarioRunner
 from repro.utils.tables import format_table
 from repro.utils.units import to_mhz
-from repro.workloads import scale_out_workloads
 
 
 def print_latency_curves(sweep: SweepResult) -> None:
@@ -46,31 +41,30 @@ def print_latency_curves(sweep: SweepResult) -> None:
         print(format_table(("f (MHz)", "latency / QoS", "status"), table))
 
 
-def print_efficiency_optima(sweep: SweepResult) -> None:
+def print_efficiency_optima(optima: dict) -> None:
     print("\nEfficiency optima per scope (Figure 3)")
     rows = [
         (
-            optima["workload"],
-            f"{to_mhz(optima['cores']):.0f}",
-            f"{to_mhz(optima['soc']):.0f}",
-            f"{to_mhz(optima['server']):.0f}",
+            name,
+            f"{to_mhz(points['cores']):.0f}",
+            f"{to_mhz(points['soc']):.0f}",
+            f"{to_mhz(points['server']):.0f}",
         )
-        for optima in efficiency_optima_rows(sweep)
+        for name, points in optima.items()
     ]
     print(format_table(("workload", "cores (MHz)", "SoC (MHz)", "server (MHz)"), rows))
 
 
 def main() -> None:
-    configuration = default_server()
-    explorer = DesignSpaceExplorer(configuration)
-    workloads = list(scale_out_workloads().values())
+    # One registered scenario provides the sweep, the floors, the optima
+    # and the summaries -- Figures 2 and 3 are views of the same table.
+    result = ScenarioRunner().run("fig3_scaleout")
 
-    sweep = explorer.explore(workloads)
-    print_latency_curves(sweep)
-    print_efficiency_optima(sweep)
+    print_latency_curves(result.sweep)
+    print_efficiency_optima(result.extras["efficiency_optima"])
 
     print("\nSweep summary (QoS floors and best QoS-respecting operating points)")
-    print(render_summary(explorer.summarize_all(workloads)))
+    print(render_summary(result.summaries))
 
 
 if __name__ == "__main__":

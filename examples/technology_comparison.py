@@ -4,18 +4,16 @@ Reproduces the Figure 1 comparison and the body-bias knobs of
 Section II-A: the supply voltage and chip core power needed at each
 frequency per flavour, the near-threshold frequencies reachable at 0.5V,
 and the state-retentive sleep-mode leakage reduction offered by reverse
-body bias.
+body bias.  The body-bias knob numbers come from the registered
+``ablation_body_bias`` scenario, so this example and the benchmark
+harness print the same experiment.
 
 Run with:  python examples/technology_comparison.py
 """
 
 from repro.analysis.figures import figure1_series
-from repro.technology import (
-    BodyBiasModel,
-    LeakageModel,
-    FDSOI_28NM,
-    default_flavour_models,
-)
+from repro.scenarios import ScenarioRunner
+from repro.technology import BodyBiasModel, FDSOI_28NM, default_flavour_models
 from repro.utils.tables import format_table
 from repro.utils.units import mhz
 
@@ -62,15 +60,29 @@ def main() -> None:
         )
     print(format_table(("flavour", "min Vdd", "max f at min Vdd"), rows))
 
-    print("\nBody-bias knobs (UTBB FD-SOI)")
+    print("\nBody-bias knobs (UTBB FD-SOI, from the ablation_body_bias scenario)")
+    ablation = ScenarioRunner().run("ablation_body_bias").extras["body_bias"]
     bias = BodyBiasModel(FDSOI_28NM)
-    leakage = LeakageModel(FDSOI_28NM)
+    sleep = ablation["sleep"]
     print(f"  Vth shift per volt of bias:      {FDSOI_28NM.body_effect_coefficient * 1000:.0f} mV/V")
     print(f"  5mm^2 core 0V->1.3V bias switch: {bias.transition_time(5.0, 1.3) * 1e6:.2f} us")
     print(
         "  RBB sleep leakage at 0.8V:       "
-        f"{leakage.sleep_power(0.8, bias.sleep_leakage_fraction()) * 1000:.1f} mW "
-        f"(active {leakage.power(0.8) * 1000:.1f} mW)"
+        f"{sleep['rbb_sleep_leakage_at_0v8_w'] * 1000:.1f} mW "
+        f"(active {sleep['active_leakage_at_0v8_w'] * 1000:.1f} mW)"
+    )
+    print(
+        format_table(
+            ("FBB (V)", "effective Vth (V)", "max f @0.5V (MHz)"),
+            [
+                (
+                    row["forward_bias_v"],
+                    round(row["effective_vth_v"], 3),
+                    round(row["max_frequency_at_0v5_hz"] / 1e6),
+                )
+                for row in ablation["rows"]
+            ],
+        )
     )
 
 

@@ -1,28 +1,25 @@
 """Public-cloud scenario: virtualized banking VMs and consolidation.
 
-Reproduces the virtualized-application part of the study: the Bitbrains
+Reproduces the virtualized-application part of the study by running the
+registered ``consolidation_oversubscribe`` scenario: the Bitbrains
 derived VM classes, their execution-time degradation versus frequency
-(Section V-A), the efficiency curves of Figure 4, and the co-allocation
+(Section V-A), the Figure 4c server-scope optima, and the co-allocation
 analysis the discussion section proposes -- how many VMs fit on the
 near-threshold server under the relaxed 4x degradation bound and how
 much energy per unit of work that saves.
 
-The degradation floors and efficiency optima are reductions over one
-batched sweep of both VM classes (the degradation column of the sweep
+The degradation floors and efficiency optima are reductions over the
+scenario's one batched sweep (the degradation column of the sweep
 serves both the strict 2x and relaxed 4x bounds).
 
 Run with:  python examples/virtualized_consolidation.py
 """
 
-from repro.core import (
-    ConsolidationAnalyzer,
-    DesignSpaceExplorer,
-    EfficiencyScope,
-    default_server,
-)
+from repro.core import EfficiencyScope
+from repro.scenarios import ScenarioRunner
 from repro.utils.tables import format_table
-from repro.utils.units import ghz, to_mhz
-from repro.workloads import BitbrainsTraceModel, virtualized_workloads
+from repro.utils.units import to_mhz
+from repro.workloads import BitbrainsTraceModel
 from repro.workloads.banking_vm import (
     DEGRADATION_LIMIT_RELAXED,
     DEGRADATION_LIMIT_STRICT,
@@ -30,8 +27,8 @@ from repro.workloads.banking_vm import (
 
 
 def main() -> None:
-    configuration = default_server()
-    explorer = DesignSpaceExplorer(configuration)
+    result = ScenarioRunner().run("consolidation_oversubscribe")
+    sweep = result.sweep
 
     print("Bitbrains-derived VM memory provisioning classes")
     classes = BitbrainsTraceModel().representative_classes()
@@ -41,8 +38,6 @@ def main() -> None:
             [(name, round(value / 2**20)) for name, value in classes.items()],
         )
     )
-
-    sweep = explorer.explore(virtualized_workloads().values())
 
     print("\nExecution-time degradation floors (Section V-A)")
     rows = []
@@ -74,21 +69,18 @@ def main() -> None:
         )
     print(format_table(("VM class", "optimum (MHz)", "GUIPS/W"), rows))
 
-    consolidation = ConsolidationAnalyzer(configuration)
     print("\nConsolidation under the relaxed (4x) degradation bound")
     rows = []
-    for name, workload in virtualized_workloads().items():
-        best = consolidation.best_plan(workload)
-        naive = consolidation.plan(workload, ghz(2), vms_per_core=1)
-        saving = 1.0 - best.energy_per_giga_instructions / naive.energy_per_giga_instructions
+    for name, plans in result.extras["consolidation"].items():
+        best = plans["best"]
         rows.append(
             (
                 name,
-                f"{to_mhz(best.frequency_hz):.0f}",
-                best.vm_count,
-                f"{best.degradation:.2f}x",
-                f"{best.energy_per_giga_instructions:.2f}",
-                f"{saving:.0%}",
+                f"{to_mhz(best['frequency_hz']):.0f}",
+                best["vm_count"],
+                f"{best['degradation']:.2f}x",
+                f"{best['energy_per_giga_instructions']:.2f}",
+                f"{plans['energy_saving_fraction']:.0%}",
             )
         )
     print(

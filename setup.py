@@ -32,5 +32,8 @@ setup(
             "pytest>=7.0",
             "pytest-benchmark>=4.0",
         ],
+        "cov": [
+            "pytest-cov>=4.0",
+        ],
     },
 )

@@ -4,10 +4,11 @@ Every function returns plain data (frequencies plus one or more named
 series) so the benchmark harnesses can print the same rows/series the
 paper plots, and tests can assert on the shapes.
 
-Figures 2, 3 and 4 are all views of the same design-space sweep, so
-they are built from one batched :class:`~repro.sweep.runner.SweepRunner`
-pass over a shared model context; the per-scope efficiency series are
-sliced out of the columnar :class:`~repro.sweep.result.SweepResult`.
+Figures 2, 3 and 4 resolve their sweeps through the scenario registry
+(:mod:`repro.scenarios`): each figure is a view over one registered
+scenario's batched sweep, optionally re-pointed at a caller-supplied
+configuration or grid; the per-scope efficiency series are sliced out
+of the columnar :class:`~repro.sweep.result.SweepResult`.
 """
 
 from __future__ import annotations
@@ -19,8 +20,8 @@ import numpy as np
 
 from repro.core.config import ServerConfiguration, default_server
 from repro.core.efficiency import EfficiencyScope
+from repro.scenarios import ScenarioRunner, get_scenario
 from repro.sweep.result import SweepResult
-from repro.sweep.runner import SweepRunner
 from repro.technology.a57_model import default_flavour_models
 from repro.utils.units import mhz
 from repro.workloads.banking_vm import virtualized_workloads
@@ -92,12 +93,16 @@ def figure2_series(
     configuration = configuration or default_server()
     workloads = scale_out_workloads()
     if sweep is None:
-        runner = SweepRunner.for_configuration(configuration)
-        grid = _sorted_grid(configuration, frequencies_hz)
-        sweep = runner.run(workloads.values(), grid)
+        sweep = _scenario_sweep(
+            "fig2_qos", configuration, _sorted_grid(configuration, frequencies_hz)
+        )
     series = {}
     for name in workloads:
         rows = sweep.filter(workload_name=name)
+        if len(rows) == 0:
+            raise ValueError(
+                f"supplied sweep does not cover scale-out workload {name!r}"
+            )
         order = np.argsort(rows.column("frequency_hz"), kind="stable")
         xs = tuple(float(f) / 1e9 for f in rows.column("frequency_hz")[order])
         ys = tuple(
@@ -128,14 +133,31 @@ def efficiency_series_by_scope(
     return result
 
 
+def _scenario_sweep(
+    scenario_name: str,
+    configuration: ServerConfiguration | None,
+    frequencies_hz: Sequence[float] | None,
+) -> SweepResult:
+    """Sweep table of a registered scenario, optionally re-pointed."""
+    spec = get_scenario(scenario_name)
+    overrides = {}
+    if configuration is not None:
+        overrides["base_configuration"] = configuration
+    if frequencies_hz is not None:
+        overrides["frequency_grid_hz"] = tuple(frequencies_hz)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    return ScenarioRunner().run(spec).sweep
+
+
 def _efficiency_figure(
     workloads: Dict[str, object],
+    scenario_name: str,
     scope: EfficiencyScope,
-    configuration: ServerConfiguration,
+    configuration: ServerConfiguration | None,
     frequencies_hz: Sequence[float] | None,
 ) -> Dict[str, FigureSeries]:
-    runner = SweepRunner.for_configuration(configuration)
-    sweep = runner.run(workloads.values(), frequencies_hz)
+    sweep = _scenario_sweep(scenario_name, configuration, frequencies_hz)
     return efficiency_series_by_scope(list(workloads), sweep)[scope]
 
 
@@ -148,9 +170,8 @@ def figure3_series(
 
     ``scope`` selects sub-figure (a) cores, (b) SoC or (c) server.
     """
-    configuration = configuration or default_server()
     return _efficiency_figure(
-        scale_out_workloads(), scope, configuration, frequencies_hz
+        scale_out_workloads(), "fig3_scaleout", scope, configuration, frequencies_hz
     )
 
 
@@ -160,9 +181,8 @@ def figure4_series(
     frequencies_hz: Sequence[float] | None = None,
 ) -> Dict[str, FigureSeries]:
     """Efficiency (GUIPS/W) versus frequency for the virtualized workloads."""
-    configuration = configuration or default_server()
     return _efficiency_figure(
-        virtualized_workloads(), scope, configuration, frequencies_hz
+        virtualized_workloads(), "fig4_virtualized", scope, configuration, frequencies_hz
     )
 
 

@@ -98,6 +98,28 @@ higher per-access energy, following the energy-proportional-memory
 direction the paper's discussion cites (Malladi et al., ISCA 2012)."""
 
 
+DRAM_CHIPS = {
+    DDR4_4GBIT_X8.name: DDR4_4GBIT_X8,
+    LPDDR4_4GBIT_X8.name: LPDDR4_4GBIT_X8,
+}
+"""Registry of the DRAM chip energy profiles studied in the paper."""
+
+
+def dram_chip_by_name(name: str) -> DramChipEnergyProfile:
+    """Look up a DRAM chip energy profile by name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not one of the registered profiles.
+    """
+    try:
+        return DRAM_CHIPS[name]
+    except KeyError:
+        known = ", ".join(sorted(DRAM_CHIPS))
+        raise KeyError(f"unknown DRAM chip {name!r}; known profiles: {known}") from None
+
+
 @dataclass(frozen=True)
 class MemoryOrganization:
     """Physical organisation of the server memory subsystem."""

@@ -1,0 +1,190 @@
+"""Named analyses a scenario can derive from its sweep.
+
+Each analysis is a function ``(spec, context, sweep) -> dict`` producing
+plain JSON-able data; :class:`~repro.scenarios.runner.ScenarioRunner`
+stores the results under the analysis name in
+:attr:`~repro.scenarios.runner.ScenarioResult.extras`.  Scenarios
+declare the analyses they need by name in
+:attr:`~repro.scenarios.spec.ScenarioSpec.analyses`, which keeps the
+spec purely declarative while letting one runner serve experiments as
+different as the Figure 2 QoS study, the Table I memory-power
+derivation and the consolidation search.
+
+Analyses reuse the scenario's shared :class:`ModelContext` and columnar
+sweep wherever possible; imports of higher-level analysis modules are
+local to each function to keep the package import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Callable, Dict
+
+from repro.sweep.context import ModelContext
+from repro.sweep.result import SweepResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.spec import ScenarioSpec
+
+AnalysisFn = Callable[["ScenarioSpec", ModelContext, SweepResult], dict]
+
+
+def qos_floors(spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult) -> dict:
+    """Lowest QoS-respecting frequency per workload (Hz; None if none)."""
+    return {
+        name: sweep.filter(workload_name=name).qos_floor()
+        for name in spec.workloads()
+    }
+
+
+def efficiency_optima(
+    spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
+) -> dict:
+    """Efficiency-optimum frequency per workload and scope (Figures 3/4)."""
+    from repro.analysis.tables import efficiency_optima_rows
+
+    return {
+        row["workload"]: {
+            scope: row[scope] for scope in ("cores", "soc", "server")
+        }
+        for row in efficiency_optima_rows(sweep)
+    }
+
+
+def nominal_uips(
+    spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
+) -> dict:
+    """Chip UIPS at the nominal frequency per workload."""
+    return {
+        name: context.nominal_performance(workload).chip_uips
+        for name, workload in spec.workloads().items()
+    }
+
+
+def memory_table(
+    spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
+) -> dict:
+    """Table I rows and the derived memory-subsystem power summary."""
+    from repro.analysis.tables import memory_power_summary, table1_rows
+
+    configuration = context.configuration
+    return {
+        "table1_rows": table1_rows(configuration.memory_chip),
+        "summary": memory_power_summary(
+            chip=configuration.memory_chip,
+            organization=configuration.memory_organization,
+        ),
+    }
+
+
+def body_bias(spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult) -> dict:
+    """Body-bias knob ablation at the 0.5V near-threshold point.
+
+    Quantifies the three FD-SOI capabilities the paper lists (Section
+    II-A): the threshold shift and frequency boost per volt of forward
+    bias, the leakage cost, and the reverse-bias sleep-mode leakage
+    reduction.
+    """
+    from repro.technology.a57_model import BodyBiasPolicy, CortexA57PowerModel
+    from repro.technology.body_bias import BodyBiasModel
+    from repro.technology.leakage import LeakageModel
+
+    technology = context.configuration.technology
+    bias_model = BodyBiasModel(technology)
+    leakage = LeakageModel(technology)
+    rows = []
+    for bias in (0.0, 0.5, 1.0, 1.5, 2.0, 2.55):
+        model = CortexA57PowerModel(
+            technology=technology,
+            bias_policy=BodyBiasPolicy.FIXED,
+            fixed_body_bias=bias if bias > 0 else 0.01,
+        )
+        boost = model.vf_model.max_frequency(0.5, body_bias=bias)
+        vth = bias_model.effective_threshold(bias)
+        rows.append(
+            {
+                "forward_bias_v": bias,
+                "effective_vth_v": vth,
+                "max_frequency_at_0v5_hz": boost,
+                "core_leakage_at_0v5_w": leakage.power(0.5, vth_eff=vth),
+            }
+        )
+    return {
+        "rows": rows,
+        "sleep": {
+            "active_leakage_at_0v8_w": leakage.power(0.8),
+            "rbb_sleep_leakage_at_0v8_w": leakage.sleep_power(
+                0.8, bias_model.sleep_leakage_fraction()
+            ),
+        },
+    }
+
+
+def memory_technology(
+    spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
+) -> dict:
+    """Baseline versus alternative DRAM chip proportionality reports."""
+    from repro.core.energy_proportionality import EnergyProportionalityAnalyzer
+    from repro.power.dram_power import dram_chip_by_name
+
+    if spec.compare_memory_chip is None:
+        raise ValueError(
+            f"scenario {spec.name!r}: the memory_technology analysis needs "
+            "compare_memory_chip to be set"
+        )
+    analyzer = EnergyProportionalityAnalyzer(context.configuration)
+    alternative = dram_chip_by_name(spec.compare_memory_chip)
+    return {
+        name: {
+            chip: dataclasses.asdict(report)
+            for chip, report in analyzer.memory_technology_comparison(
+                workload, alternative_chip=alternative
+            ).items()
+        }
+        for name, workload in spec.workloads().items()
+    }
+
+
+def consolidation(
+    spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
+) -> dict:
+    """Best co-allocation plan per VM class versus the naive 2GHz plan."""
+    from repro.core.consolidation import ConsolidationAnalyzer
+
+    analyzer = ConsolidationAnalyzer(
+        context.configuration, degradation_bound=context.degradation_bound
+    )
+    results = {}
+    for name, workload in spec.workloads().items():
+        best = analyzer.best_plan(workload)
+        naive = analyzer.plan(
+            workload, context.configuration.nominal_frequency_hz, vms_per_core=1
+        )
+        results[name] = {
+            "best": _plan_dict(best),
+            "naive": _plan_dict(naive),
+            "energy_saving_fraction": (
+                1.0
+                - best.energy_per_giga_instructions
+                / naive.energy_per_giga_instructions
+            ),
+        }
+    return results
+
+
+def _plan_dict(plan) -> dict:
+    data = dataclasses.asdict(plan)
+    data["energy_per_giga_instructions"] = plan.energy_per_giga_instructions
+    return data
+
+
+ANALYSES: Dict[str, AnalysisFn] = {
+    "qos_floors": qos_floors,
+    "efficiency_optima": efficiency_optima,
+    "nominal_uips": nominal_uips,
+    "memory_table": memory_table,
+    "body_bias": body_bias,
+    "memory_technology": memory_technology,
+    "consolidation": consolidation,
+}
+"""Registry of derived analyses, keyed by the name specs declare."""

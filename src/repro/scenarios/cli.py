@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro.scenarios``.
+
+Commands
+--------
+
+``list``
+    One line per registered scenario (name, workload set, title);
+    ``--json`` emits the machine-readable spec list.
+``show NAME``
+    The full spec of one scenario.
+``run NAME... | --all``
+    Execute scenarios and emit results as an aligned text table
+    (default), ``--format csv`` (the sweep rows) or ``--format json``
+    (summaries + key scalars + analyses; ``--sweep`` adds the full
+    table).  ``--output FILE`` writes a single scenario's output to a
+    file; ``--outdir DIR`` writes one file per scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import dataclasses
+import io
+import json
+import sys
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.scenarios.registry import REGISTRY, ScenarioRegistry
+from repro.scenarios.runner import ScenarioResult, ScenarioRunner
+from repro.sweep.result import COLUMNS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="List and run the registered paper-reproduction scenarios.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument(
+        "--json", action="store_true", help="emit the spec list as JSON"
+    )
+
+    show_parser = commands.add_parser("show", help="print one scenario's spec")
+    show_parser.add_argument("name", help="registered scenario name")
+
+    run_parser = commands.add_parser("run", help="run one or more scenarios")
+    run_parser.add_argument("names", nargs="*", help="registered scenario names")
+    run_parser.add_argument(
+        "--all", action="store_true", help="run every registered scenario"
+    )
+    run_parser.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
+    run_parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="include the full sweep table in JSON output",
+    )
+    run_parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan the sweep out across workloads with a thread pool",
+    )
+    run_parser.add_argument(
+        "--output", type=Path, help="write a single scenario's output to FILE"
+    )
+    run_parser.add_argument(
+        "--outdir", type=Path, help="write one output file per scenario to DIR"
+    )
+    return parser
+
+
+def _render_table(result: ScenarioResult) -> str:
+    from repro.core.report import render_summary
+
+    lines = [
+        f"scenario: {result.spec.name}",
+        f"  {result.spec.title}",
+        f"  rows: {len(result.sweep)}  "
+        f"workloads: {', '.join(result.spec.workloads())}",
+        "",
+        render_summary(result.summaries),
+    ]
+    if result.extras:
+        lines.append("")
+        lines.append("analyses: " + ", ".join(result.extras))
+        lines.append(json.dumps(result.extras, indent=2, sort_keys=True))
+    return "\n".join(lines)
+
+
+def _render_csv(result: ScenarioResult) -> str:
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=("scenario",) + COLUMNS)
+    writer.writeheader()
+    for row in result.sweep.to_dicts():
+        writer.writerow({"scenario": result.spec.name, **row})
+    return buffer.getvalue()
+
+
+def _render(result: ScenarioResult, fmt: str, include_sweep: bool) -> str:
+    if fmt == "table":
+        return _render_table(result)
+    if fmt == "csv":
+        return _render_csv(result)
+    return json.dumps(result.as_dict(include_sweep=include_sweep), indent=2)
+
+
+def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
+    if args.all and args.names:
+        print("error: give scenario names or --all, not both", file=sys.stderr)
+        return 2
+    names: List[str] = list(registry.names()) if args.all else args.names
+    if not names:
+        print("error: no scenarios given (use names or --all)", file=sys.stderr)
+        return 2
+    if args.output is not None and len(names) > 1:
+        print(
+            "error: --output only takes a single scenario; use --outdir",
+            file=sys.stderr,
+        )
+        return 2
+
+    runner = ScenarioRunner(registry=registry, parallel=args.parallel)
+    extension = {"table": "txt", "csv": "csv", "json": "json"}[args.format]
+    for name in names:
+        try:
+            result = runner.run(name)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        rendered = _render(result, args.format, args.sweep)
+        if args.output is not None:
+            args.output.write_text(rendered + "\n")
+            print(f"wrote {args.output}")
+        elif args.outdir is not None:
+            args.outdir.mkdir(parents=True, exist_ok=True)
+            path = args.outdir / f"{result.spec.name}.{extension}"
+            path.write_text(rendered + "\n")
+            print(f"wrote {path}")
+        else:
+            print(rendered)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, registry: ScenarioRegistry = REGISTRY) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        specs = registry.specs()
+        if args.json:
+            print(
+                json.dumps(
+                    [dataclasses.asdict(spec) for spec in specs],
+                    indent=2,
+                    default=str,
+                )
+            )
+        else:
+            width = max(len(spec.name) for spec in specs)
+            for spec in specs:
+                print(
+                    f"{spec.name:<{width}}  [{spec.workload_set}]  {spec.title}"
+                )
+        return 0
+
+    if args.command == "show":
+        try:
+            spec = registry.get(args.name)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(json.dumps(dataclasses.asdict(spec), indent=2, default=str))
+        return 0
+
+    return _run_command(args, registry)

@@ -1,0 +1,281 @@
+"""Declarative experiment specifications.
+
+A :class:`ScenarioSpec` is a frozen, fully-validated description of one
+of the paper's (or a derived) experiments: which workloads are swept,
+over which frequency grid, under which server-configuration deltas
+(technology flavour, body-bias policy, DRAM chip, cluster organisation)
+and QoS/degradation bound, and which named analyses are derived from
+the sweep.  Specs carry *names* for the technology knobs -- resolved
+against the registries in :mod:`repro.technology.process` and
+:mod:`repro.power.dram_power` -- so they stay plain data that can be
+listed, diffed and serialised, in the spirit of the Lumos DSE repo's
+declarative experiment configs.
+
+Every field is checked at construction time, so a spec that exists is a
+spec that can run; :meth:`ScenarioSpec.configuration` and
+:meth:`ScenarioSpec.workloads` materialise the models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.config import ServerConfiguration, default_server
+from repro.core.efficiency import EfficiencyScope
+from repro.power.dram_power import DRAM_CHIPS, dram_chip_by_name
+from repro.technology.a57_model import BodyBiasPolicy
+from repro.technology.process import TECHNOLOGIES, technology_by_name
+from repro.workloads.banking_vm import (
+    DEGRADATION_LIMIT_RELAXED,
+    virtualized_workloads,
+)
+from repro.workloads.base import WorkloadCharacteristics
+from repro.workloads.cloudsuite import scale_out_workloads
+
+SCALE_OUT = "scale-out"
+VIRTUALIZED = "virtualized"
+ALL_WORKLOADS = "all"
+
+WORKLOAD_SETS = (SCALE_OUT, VIRTUALIZED, ALL_WORKLOADS)
+"""Named workload sets a scenario can sweep."""
+
+
+def workload_set(name: str) -> Dict[str, WorkloadCharacteristics]:
+    """Resolve a named workload set, keyed by workload name.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is not one of :data:`WORKLOAD_SETS`.
+    """
+    if name == SCALE_OUT:
+        return scale_out_workloads()
+    if name == VIRTUALIZED:
+        return virtualized_workloads()
+    if name == ALL_WORKLOADS:
+        return {**scale_out_workloads(), **virtualized_workloads()}
+    known = ", ".join(WORKLOAD_SETS)
+    raise ValueError(f"unknown workload set {name!r}; known sets: {known}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Frozen declarative description of one experiment.
+
+    Parameters
+    ----------
+    name:
+        Registry key; a short ``snake_case`` identifier.
+    title:
+        One-line human description (what the scenario reproduces).
+    workload_set:
+        One of :data:`WORKLOAD_SETS`.
+    workload_names:
+        Optional ordered subset of the set's workloads (by name).
+    technology:
+        Optional process-flavour name from
+        :data:`repro.technology.process.TECHNOLOGIES`.
+    bias_policy:
+        Body-bias policy value (``none`` / ``fixed`` / ``optimal``);
+        only meaningful together with an FD-SOI ``technology``.
+    memory_chip:
+        Optional DRAM chip profile name from
+        :data:`repro.power.dram_power.DRAM_CHIPS`.
+    compare_memory_chip:
+        Alternative DRAM chip for the ``memory_technology`` analysis.
+    cluster_count / cores_per_cluster:
+        Optional cluster-organisation ablation knobs.
+    frequency_grid_hz:
+        Optional explicit sweep grid; ``None`` keeps the
+        configuration's default 100MHz-2GHz grid.  An empty grid is a
+        contradiction and is rejected.
+    degradation_bound:
+        Execution-time degradation bound for virtualized workloads
+        (must be >= 1: a VM cannot be required to beat its nominal).
+    efficiency_scope:
+        Scope whose efficiency defines the scenario's headline optimum.
+    analyses:
+        Names of derived analyses (see
+        :data:`repro.scenarios.analyses.ANALYSES`) computed from the
+        sweep into :attr:`ScenarioResult.extras`.
+    base_configuration:
+        Optional explicit base configuration the deltas apply to
+        (defaults to the paper's server); lets callers re-point a
+        registered scenario at a custom design without losing the
+        scenario's workloads/analyses.
+    notes:
+        Free-form provenance (paper section, motivation).
+    """
+
+    name: str
+    title: str
+    workload_set: str = SCALE_OUT
+    workload_names: Tuple[str, ...] | None = None
+    technology: str | None = None
+    bias_policy: str = BodyBiasPolicy.NONE.value
+    memory_chip: str | None = None
+    compare_memory_chip: str | None = None
+    cluster_count: int | None = None
+    cores_per_cluster: int | None = None
+    frequency_grid_hz: Tuple[float, ...] | None = None
+    degradation_bound: float = DEGRADATION_LIMIT_RELAXED
+    efficiency_scope: str = EfficiencyScope.SERVER.value
+    analyses: Tuple[str, ...] = ()
+    base_configuration: ServerConfiguration | None = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(
+                f"scenario name must be a snake_case identifier, got {self.name!r}"
+            )
+        if not self.title:
+            raise ValueError(f"scenario {self.name!r} must have a title")
+        if self.workload_set not in WORKLOAD_SETS:
+            known = ", ".join(WORKLOAD_SETS)
+            raise ValueError(
+                f"scenario {self.name!r}: unknown workload set "
+                f"{self.workload_set!r}; known sets: {known}"
+            )
+        if self.workload_names is not None:
+            available = workload_set(self.workload_set)
+            unknown = [w for w in self.workload_names if w not in available]
+            if unknown:
+                raise ValueError(
+                    f"scenario {self.name!r}: workloads {unknown} are not in "
+                    f"the {self.workload_set!r} set {sorted(available)}"
+                )
+            if not self.workload_names:
+                raise ValueError(
+                    f"scenario {self.name!r}: workload_names must not be empty"
+                )
+            if len(set(self.workload_names)) != len(self.workload_names):
+                raise ValueError(
+                    f"scenario {self.name!r}: workload_names contains "
+                    f"duplicates: {self.workload_names}"
+                )
+        if self.technology is not None and self.technology not in TECHNOLOGIES:
+            known = ", ".join(sorted(TECHNOLOGIES))
+            raise ValueError(
+                f"scenario {self.name!r}: unknown technology "
+                f"{self.technology!r}; known flavours: {known}"
+            )
+        try:
+            BodyBiasPolicy(self.bias_policy)
+        except ValueError:
+            known = ", ".join(policy.value for policy in BodyBiasPolicy)
+            raise ValueError(
+                f"scenario {self.name!r}: unknown bias policy "
+                f"{self.bias_policy!r}; known policies: {known}"
+            ) from None
+        for label, chip in (
+            ("memory_chip", self.memory_chip),
+            ("compare_memory_chip", self.compare_memory_chip),
+        ):
+            if chip is not None and chip not in DRAM_CHIPS:
+                known = ", ".join(sorted(DRAM_CHIPS))
+                raise ValueError(
+                    f"scenario {self.name!r}: unknown {label} {chip!r}; "
+                    f"known profiles: {known}"
+                )
+        for label, count in (
+            ("cluster_count", self.cluster_count),
+            ("cores_per_cluster", self.cores_per_cluster),
+        ):
+            if count is not None and count < 1:
+                raise ValueError(
+                    f"scenario {self.name!r}: {label} must be >= 1, got {count}"
+                )
+        if self.frequency_grid_hz is not None:
+            if not self.frequency_grid_hz:
+                raise ValueError(
+                    f"scenario {self.name!r}: frequency grid must not be empty"
+                )
+            if any(value <= 0 for value in self.frequency_grid_hz):
+                raise ValueError(
+                    f"scenario {self.name!r}: frequency grid entries must be "
+                    f"positive, got {self.frequency_grid_hz}"
+                )
+        if self.degradation_bound < 1.0:
+            raise ValueError(
+                f"scenario {self.name!r}: degradation bound must be >= 1 "
+                f"(1.0 = no slowdown allowed), got {self.degradation_bound}"
+            )
+        scopes = [scope.value for scope in EfficiencyScope]
+        if self.efficiency_scope not in scopes:
+            raise ValueError(
+                f"scenario {self.name!r}: unknown efficiency scope "
+                f"{self.efficiency_scope!r}; known scopes: {', '.join(scopes)}"
+            )
+        # Analysis names are validated against the analysis registry;
+        # imported here to keep module import order acyclic.
+        from repro.scenarios.analyses import ANALYSES
+
+        unknown_analyses = [a for a in self.analyses if a not in ANALYSES]
+        if unknown_analyses:
+            known = ", ".join(sorted(ANALYSES))
+            raise ValueError(
+                f"scenario {self.name!r}: unknown analyses {unknown_analyses}; "
+                f"known analyses: {known}"
+            )
+
+    # -- resolution -----------------------------------------------------------------
+
+    def workloads(self) -> Dict[str, WorkloadCharacteristics]:
+        """The scenario's workloads, keyed by name, in sweep order."""
+        available = workload_set(self.workload_set)
+        if self.workload_names is None:
+            return available
+        return {name: available[name] for name in self.workload_names}
+
+    def configuration(self) -> ServerConfiguration:
+        """Materialise the server configuration with all deltas applied."""
+        configuration = (
+            self.base_configuration
+            if self.base_configuration is not None
+            else default_server()
+        )
+        if self.technology is not None:
+            configuration = configuration.with_technology(
+                technology_by_name(self.technology),
+                bias_policy=BodyBiasPolicy(self.bias_policy),
+            )
+        elif self.bias_policy != BodyBiasPolicy.NONE.value:
+            configuration = dataclasses.replace(
+                configuration, bias_policy=BodyBiasPolicy(self.bias_policy)
+            )
+        if self.memory_chip is not None:
+            configuration = configuration.with_memory_chip(
+                dram_chip_by_name(self.memory_chip)
+            )
+        if self.cluster_count is not None or self.cores_per_cluster is not None:
+            configuration = configuration.with_cluster_organization(
+                cluster_count=self.cluster_count or configuration.cluster_count,
+                cores_per_cluster=(
+                    self.cores_per_cluster or configuration.cores_per_cluster
+                ),
+            )
+        if self.frequency_grid_hz is not None:
+            configuration = dataclasses.replace(
+                configuration, frequency_grid=tuple(self.frequency_grid_hz)
+            )
+        return configuration
+
+    @property
+    def scope(self) -> EfficiencyScope:
+        """The headline efficiency scope as an enum member."""
+        return EfficiencyScope(self.efficiency_scope)
+
+    # -- derivation -----------------------------------------------------------------
+
+    def with_overrides(self, **changes) -> "ScenarioSpec":
+        """Copy of the spec with fields replaced (revalidated).
+
+        The usual callers are harnesses re-running a registered
+        scenario on a custom base configuration or a reduced grid::
+
+            spec.with_overrides(frequency_grid_hz=(1e9, 2e9))
+        """
+        return dataclasses.replace(self, **changes)

@@ -239,6 +239,27 @@ class SweepResult(Sequence):
         """All rows as records."""
         return list(self)
 
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """All rows as plain JSON-able dicts, one per row, in COLUMNS order.
+
+        Optional fields are ``None`` where the column holds NaN, and
+        NumPy scalars are converted to native Python types, so the rows
+        serialise cleanly to JSON/CSV.
+        """
+        rows: List[Dict[str, object]] = []
+        for index in range(len(self)):
+            row: Dict[str, object] = {}
+            for name in _STRING_COLUMNS:
+                row[name] = str(self._columns[name][index])
+            for name in _FLOAT_COLUMNS:
+                row[name] = float(self._columns[name][index])
+            for name in _OPTIONAL_COLUMNS:
+                row[name] = _optional(float(self._columns[name][index]))
+            for name in _BOOL_COLUMNS:
+                row[name] = bool(self._columns[name][index])
+            rows.append(row)
+        return rows
+
     # -- reductions ---------------------------------------------------------------------
 
     def filter(
@@ -262,13 +283,26 @@ class SweepResult(Sequence):
         return self[selected]
 
     def group_by(self, name: str) -> Dict[object, "SweepResult"]:
-        """Split the table by a column, preserving first-appearance order."""
+        """Split the table by a column, preserving first-appearance order.
+
+        Rows whose key is NaN (an optional column on a workload class
+        that does not populate it) form one group keyed by ``nan``,
+        ordered last -- every row lands in exactly one group.
+        """
         column = self.column(name)
+        nan_mask = (
+            np.isnan(column) if column.dtype.kind == "f" else np.zeros(0, dtype=bool)
+        )
         groups: Dict[object, np.ndarray] = {}
         for key in column:
+            if nan_mask.size and np.isnan(key):
+                continue
             if key not in groups:
                 groups[key] = column == key
-        return {key: self[mask] for key, mask in groups.items()}
+        result = {key: self[mask] for key, mask in groups.items()}
+        if nan_mask.any():
+            result[math.nan] = self[nan_mask]
+        return result
 
     def qos_floor(self, degradation_bound: float | None = None) -> float | None:
         """Lowest swept frequency meeting the QoS, or None if none does.

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.config import default_server
-from repro.core.dse import DesignSpaceExplorer
 from repro.core.report import render_operating_points, render_summary
 from repro.technology.a57_model import BodyBiasPolicy
 from repro.technology.process import BULK_28NM, FDSOI_28NM_FBB
@@ -12,9 +11,13 @@ from repro.workloads.banking_vm import VMS_LOW_MEM
 from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH, scale_out_workloads
 
 
-@pytest.fixture(scope="module")
-def explorer():
-    return DesignSpaceExplorer(default_server())
+# Session-scoped in tests/conftest.py: the explorer's model caches are
+# shared with every other module probing the default server.
+
+
+@pytest.fixture
+def explorer(default_explorer):
+    return default_explorer
 
 
 def test_evaluate_produces_consistent_record(explorer):

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.core.config import default_server
-from repro.core.efficiency import EfficiencyAnalyzer, EfficiencyScope
-from repro.core.qos import QosAnalyzer
+from repro.core.efficiency import EfficiencyScope
 from repro.utils.units import ghz, mhz
 from repro.workloads.banking_vm import (
     DEGRADATION_LIMIT_RELAXED,
@@ -15,14 +13,18 @@ from repro.workloads.banking_vm import (
 from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH, scale_out_workloads
 
 
-@pytest.fixture(scope="module")
-def efficiency():
-    return EfficiencyAnalyzer(default_server())
+# The analyzers are session-scoped in tests/conftest.py so every module
+# probing the default server shares one model stack.
 
 
-@pytest.fixture(scope="module")
-def qos():
-    return QosAnalyzer(default_server())
+@pytest.fixture
+def efficiency(efficiency_analyzer):
+    return efficiency_analyzer
+
+
+@pytest.fixture
+def qos(qos_analyzer):
+    return qos_analyzer
 
 
 # -- efficiency ---------------------------------------------------------------------

@@ -15,8 +15,8 @@ from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH
 
 
 @pytest.fixture(scope="module")
-def ep():
-    return EnergyProportionalityAnalyzer(default_server())
+def ep(default_configuration):
+    return EnergyProportionalityAnalyzer(default_configuration)
 
 
 def test_proportionality_index_between_zero_and_one(ep):
@@ -62,8 +62,8 @@ def test_custom_alternative_chip(ep):
 
 
 @pytest.fixture(scope="module")
-def consolidation():
-    return ConsolidationAnalyzer(default_server())
+def consolidation(default_configuration):
+    return ConsolidationAnalyzer(default_configuration)
 
 
 def test_plan_counts_vms_and_power(consolidation):

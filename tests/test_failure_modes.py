@@ -91,3 +91,110 @@ def test_degradation_bound_zero_rejected():
     model = BatchDegradationModel(VMS_LOW_MEM)
     with pytest.raises(ValueError):
         model.meets_bound(1e9, 2e9, bound=0.0)
+
+
+# -- scenario layer ---------------------------------------------------------------
+
+
+def test_unknown_scenario_name_lists_alternatives():
+    from repro.scenarios import ScenarioRunner
+
+    with pytest.raises(ValueError, match="unknown scenario 'no_such'.*fig2_qos"):
+        ScenarioRunner().run("no_such")
+
+
+def test_scenario_empty_frequency_grid_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="frequency grid must not be empty"):
+        ScenarioSpec(name="bad", title="t", frequency_grid_hz=())
+
+
+def test_scenario_negative_frequency_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="must be positive"):
+        ScenarioSpec(name="bad", title="t", frequency_grid_hz=(1e9, -2e9))
+
+
+def test_scenario_degradation_bound_below_one_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="degradation bound must be >= 1"):
+        ScenarioSpec(name="bad", title="t", degradation_bound=-4.0)
+
+
+def test_scenario_unknown_workload_set_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="unknown workload set 'gpu'"):
+        ScenarioSpec(name="bad", title="t", workload_set="gpu")
+
+
+def test_scenario_unknown_workload_name_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match=r"workloads \['SPECint'\] are not in"):
+        ScenarioSpec(name="bad", title="t", workload_names=("SPECint",))
+
+
+def test_scenario_unknown_technology_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="unknown technology 'finfet-7nm'"):
+        ScenarioSpec(name="bad", title="t", technology="finfet-7nm")
+
+
+def test_scenario_unknown_memory_chip_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="unknown memory_chip 'hbm2'"):
+        ScenarioSpec(name="bad", title="t", memory_chip="hbm2")
+
+
+def test_scenario_unknown_analysis_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match=r"unknown analyses \['sharding'\]"):
+        ScenarioSpec(name="bad", title="t", analyses=("sharding",))
+
+
+def test_scenario_unreachable_grid_raises_at_run():
+    """A grid no flavour point can reach fails with a precise error."""
+    from repro.scenarios import ScenarioRunner, ScenarioSpec
+
+    spec = ScenarioSpec(
+        name="unreachable",
+        title="t",
+        technology="bulk-28nm",
+        frequency_grid_hz=(ghz(10),),
+    )
+    with pytest.raises(ValueError, match="no frequency in the grid is reachable"):
+        ScenarioRunner().run(spec)
+
+
+def test_scenario_duplicate_workload_names_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="contains duplicates"):
+        ScenarioSpec(
+            name="bad", title="t", workload_names=("Web Search", "Web Search")
+        )
+
+
+def test_figure2_series_rejects_sweep_missing_workloads():
+    from repro.analysis.figures import figure2_series
+    from repro.scenarios import ScenarioRunner
+
+    vm_sweep = ScenarioRunner().run("fig4_virtualized").sweep
+    with pytest.raises(ValueError, match="does not cover scale-out workload"):
+        figure2_series(sweep=vm_sweep)
+
+
+def test_duplicate_scenario_registration_rejected():
+    from repro.scenarios import ScenarioRegistry, ScenarioSpec
+
+    registry = ScenarioRegistry()
+    registry.register(ScenarioSpec(name="dup", title="t"))
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register(ScenarioSpec(name="dup", title="t"))

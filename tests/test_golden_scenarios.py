@@ -1,0 +1,92 @@
+"""Golden-regression tests: every registered scenario's numbers are pinned.
+
+Each scenario's key scalars (per-workload QoS floor, efficiency-optimum
+frequencies per scope, best QoS-respecting point, peak efficiency,
+energy per giga-instruction) are checked in as JSON under
+``tests/golden/``.  Any refactor that drifts a reproduced figure's
+numbers fails here with a field-level diff.
+
+Regenerate the fixtures after an *intentional* model change with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_scenarios.py --update-golden
+
+and review the fixture diff like any other code change.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.scenarios import scenario_names
+
+REL_TOL = 1e-9
+
+
+def _diffs(actual, expected, path=""):
+    """Recursive comparison with a tight relative tolerance on floats."""
+    if isinstance(expected, dict) or isinstance(actual, dict):
+        if not (isinstance(actual, dict) and isinstance(expected, dict)):
+            return [f"{path}: type mismatch {actual!r} vs {expected!r}"]
+        problems = []
+        for key in sorted(set(actual) | set(expected)):
+            if key not in actual:
+                problems.append(f"{path}.{key}: missing from actual")
+            elif key not in expected:
+                problems.append(f"{path}.{key}: not in golden fixture")
+            else:
+                problems.extend(_diffs(actual[key], expected[key], f"{path}.{key}"))
+        return problems
+    if isinstance(expected, list) or isinstance(actual, list):
+        if not (isinstance(actual, list) and isinstance(expected, list)):
+            return [f"{path}: type mismatch {actual!r} vs {expected!r}"]
+        if len(actual) != len(expected):
+            return [f"{path}: length {len(actual)} vs {len(expected)}"]
+        problems = []
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            problems.extend(_diffs(a, e, f"{path}[{index}]"))
+        return problems
+    if isinstance(expected, float) or isinstance(actual, float):
+        if actual is None or expected is None:
+            return [] if actual == expected else [f"{path}: {actual!r} vs {expected!r}"]
+        if math.isclose(float(actual), float(expected), rel_tol=REL_TOL, abs_tol=0.0):
+            return []
+        return [f"{path}: {actual!r} drifted from golden {expected!r}"]
+    if actual != expected:
+        return [f"{path}: {actual!r} vs golden {expected!r}"]
+    return []
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_golden_scenario_scalars(name, scenario_results, update_golden, golden_dir):
+    result = scenario_results(name)
+    scalars = result.key_scalars()
+    path = golden_dir / f"{name}.json"
+
+    if update_golden:
+        golden_dir.mkdir(exist_ok=True)
+        path.write_text(json.dumps(scalars, indent=2, sort_keys=True) + "\n")
+
+    assert path.exists(), (
+        f"golden fixture {path} is missing; generate it with "
+        "pytest --update-golden"
+    )
+    expected = json.loads(path.read_text())
+    problems = _diffs(scalars, expected)
+    assert not problems, (
+        f"scenario {name!r} drifted from its golden fixture "
+        f"({len(problems)} fields):\n  " + "\n  ".join(problems)
+    )
+
+
+def test_no_stale_golden_fixtures(golden_dir, scenario_registry):
+    """Every fixture on disk corresponds to a registered scenario."""
+    fixtures = {path.stem for path in golden_dir.glob("*.json")}
+    registered = set(scenario_registry.names())
+    stale = fixtures - registered
+    assert not stale, f"golden fixtures without a registered scenario: {sorted(stale)}"
+    missing = registered - fixtures
+    assert not missing, (
+        f"registered scenarios without a golden fixture: {sorted(missing)}; "
+        "generate them with pytest --update-golden"
+    )

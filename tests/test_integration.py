@@ -3,10 +3,8 @@
 import pytest
 
 from repro.core.config import default_server
-from repro.core.dse import DesignSpaceExplorer
 from repro.core.efficiency import EfficiencyScope
 from repro.core.performance import ServerPerformanceModel
-from repro.core.qos import QosAnalyzer
 from repro.sim.cluster import ClusterSimConfig, ClusterSimulator
 from repro.utils.units import ghz, mhz
 from repro.workloads.cloudsuite import DATA_SERVING, WEB_SEARCH
@@ -39,31 +37,28 @@ def test_detailed_simulator_uipc_within_factor_two_of_interval_model():
     assert 0.4 <= detailed_uipc / interval_uipc <= 2.5
 
 
-def test_qos_constrained_best_point_is_more_efficient_than_nominal():
+def test_qos_constrained_best_point_is_more_efficient_than_nominal(default_explorer):
     """Running at the QoS-respecting efficiency optimum beats 2GHz."""
-    explorer = DesignSpaceExplorer(default_server())
-    summary = explorer.summarize(WEB_SEARCH)
-    best = explorer.evaluate(WEB_SEARCH, summary.best_qos_respecting_frequency)
-    nominal = explorer.evaluate(WEB_SEARCH, ghz(2))
+    summary = default_explorer.summarize(WEB_SEARCH)
+    best = default_explorer.evaluate(WEB_SEARCH, summary.best_qos_respecting_frequency)
+    nominal = default_explorer.evaluate(WEB_SEARCH, ghz(2))
     assert best.server_efficiency > nominal.server_efficiency
     assert best.meets_qos
 
 
-def test_full_stack_power_budget_respected_at_nominal():
-    explorer = DesignSpaceExplorer(default_server())
+def test_full_stack_power_budget_respected_at_nominal(
+    default_explorer, default_configuration
+):
     for workload in (DATA_SERVING, WEB_SEARCH):
-        record = explorer.evaluate(workload, ghz(2))
-        assert record.soc_power < default_server().power_budget_watts
+        record = default_explorer.evaluate(workload, ghz(2))
+        assert record.soc_power < default_configuration.power_budget_watts
 
 
-def test_qos_floor_below_soc_optimum():
+def test_qos_floor_below_soc_optimum(default_explorer, qos_analyzer):
     """The QoS floor never forces operation above the efficiency optimum."""
-    configuration = default_server()
-    qos = QosAnalyzer(configuration)
-    explorer = DesignSpaceExplorer(configuration)
     for workload in (DATA_SERVING, WEB_SEARCH):
-        floor = qos.qos_frequency_floor(workload)
-        summary = explorer.summarize(workload)
+        floor = qos_analyzer.qos_frequency_floor(workload)
+        summary = default_explorer.summarize(workload)
         assert floor <= summary.optimal_frequency_by_scope[EfficiencyScope.SOC.value]
 
 

@@ -1,0 +1,263 @@
+"""Unit tests for the scenario spec/registry/runner/CLI layer."""
+
+import json
+
+import pytest
+
+from repro.core.config import default_server
+from repro.scenarios import (
+    ALL_WORKLOADS,
+    ANALYSES,
+    REGISTRY,
+    ScenarioRunner,
+    ScenarioSpec,
+    get_scenario,
+    scenario_names,
+    workload_set,
+)
+from repro.scenarios.cli import main as cli_main
+from repro.technology.process import FDSOI_28NM_FBB
+from repro.utils.units import mhz
+
+
+# -- spec ------------------------------------------------------------------------------
+
+
+def test_workload_sets_resolve():
+    assert len(workload_set("scale-out")) == 4
+    assert len(workload_set("virtualized")) == 2
+    assert len(workload_set(ALL_WORKLOADS)) == 6
+
+
+def test_workload_set_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown workload set 'gpu'"):
+        workload_set("gpu")
+
+
+def test_spec_configuration_applies_all_deltas():
+    spec = ScenarioSpec(
+        name="combo",
+        title="t",
+        technology="fdsoi-28nm-fbb",
+        bias_policy="optimal",
+        memory_chip="lpddr4-4gbit-x8",
+        cluster_count=3,
+        cores_per_cluster=16,
+        frequency_grid_hz=(mhz(500), mhz(1000)),
+    )
+    configuration = spec.configuration()
+    assert configuration.technology is FDSOI_28NM_FBB
+    assert configuration.bias_policy.value == "optimal"
+    assert configuration.memory_chip.name == "lpddr4-4gbit-x8"
+    assert configuration.cluster_count == 3
+    assert configuration.cores_per_cluster == 16
+    assert configuration.core_count == 48
+    assert configuration.frequency_grid == (mhz(500), mhz(1000))
+
+
+def test_spec_without_deltas_is_default_server():
+    assert ScenarioSpec(name="plain", title="t").configuration() == default_server()
+
+
+def test_spec_workload_names_preserve_order():
+    spec = ScenarioSpec(
+        name="ordered",
+        title="t",
+        workload_names=("Web Search", "Data Serving"),
+    )
+    assert list(spec.workloads()) == ["Web Search", "Data Serving"]
+
+
+def test_with_overrides_revalidates():
+    spec = get_scenario("fig2_qos")
+    with pytest.raises(ValueError, match="frequency grid must not be empty"):
+        spec.with_overrides(frequency_grid_hz=())
+
+
+def test_bias_policy_without_technology_applies_to_base():
+    spec = ScenarioSpec(name="biased", title="t", bias_policy="optimal")
+    assert spec.configuration().bias_policy.value == "optimal"
+    assert spec.configuration().technology == default_server().technology
+
+
+def test_memory_technology_analysis_requires_compare_chip(scenario_results):
+    result = scenario_results("fig2_qos")
+    with pytest.raises(ValueError, match="compare_memory_chip"):
+        ANALYSES["memory_technology"](result.spec, result.context, result.sweep)
+
+
+# -- registry --------------------------------------------------------------------------
+
+
+def test_registry_has_required_scenarios():
+    required = {
+        "fig2_qos",
+        "fig3_scaleout",
+        "fig4_virtualized",
+        "table1_ddr4",
+        "ablation_body_bias",
+        "ablation_cluster_size",
+        "ablation_memory_tech",
+        "consolidation_oversubscribe",
+        "colocation_mixed",
+    }
+    assert required <= set(scenario_names())
+    assert len(REGISTRY) >= 8
+
+
+def test_registry_membership_and_iteration():
+    assert "fig2_qos" in REGISTRY
+    assert "no_such" not in REGISTRY
+    assert [spec.name for spec in REGISTRY] == list(scenario_names())
+
+
+def test_every_scenario_analysis_is_registered():
+    for spec in REGISTRY:
+        for analysis in spec.analyses:
+            assert analysis in ANALYSES
+
+
+# -- runner ----------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_every_scenario_runs_and_is_uniform(name, scenario_results):
+    result = scenario_results(name)
+    spec = get_scenario(name)
+    workloads = spec.workloads()
+    # Uniform shape: one summary per workload, workload-major sweep,
+    # every declared analysis present.
+    assert [summary.workload_name for summary in result.summaries] == list(workloads)
+    assert len(result.sweep) % len(workloads) == 0
+    assert len(result.sweep) > 0
+    assert set(result.extras) == set(spec.analyses)
+    # Exactly-once evaluation on the shared context.
+    assert result.context.evaluated_points == len(result.sweep)
+
+
+def test_key_scalars_are_json_roundtrippable(scenario_results):
+    scalars = scenario_results("fig3_scaleout").key_scalars()
+    assert json.loads(json.dumps(scalars)) == scalars
+    workload = scalars["workloads"]["Web Search"]
+    assert workload["qos_floor_hz"] == 200e6
+    assert set(workload["optimal_frequency_by_scope_hz"]) == {"cores", "soc", "server"}
+
+
+def test_runner_accepts_spec_objects(scenario_results):
+    spec = get_scenario("table1_ddr4")
+    result = ScenarioRunner().run(spec)
+    assert result.spec is spec
+    assert result.extras["memory_table"]["table1_rows"][0]["chip"] == "ddr4-4gbit-x8"
+
+
+def test_colocation_mixed_covers_both_classes(scenario_results):
+    result = scenario_results("colocation_mixed")
+    classes = set(result.sweep.column("workload_class"))
+    assert classes == {"scale-out", "virtualized"}
+    # The relaxed bound leaves a common feasible band across all six
+    # workloads (the scenario's reason to exist).
+    floors = result.extras["qos_floors"]
+    assert all(floor is not None for floor in floors.values())
+    assert max(floors.values()) <= 2e9
+
+
+def test_sweep_to_dicts_roundtrip(scenario_results):
+    sweep = scenario_results("fig4_virtualized").sweep
+    rows = sweep.to_dicts()
+    assert len(rows) == len(sweep)
+    assert rows[0]["workload_name"] == sweep.record(0).workload_name
+    assert rows[0]["latency_seconds"] is None  # virtualized rows have no latency
+    assert json.loads(json.dumps(rows)) == rows
+
+
+# -- CLI -------------------------------------------------------------------------------
+
+
+def test_cli_list_names_every_scenario(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_cli_list_json(capsys):
+    assert cli_main(["list", "--json"]) == 0
+    specs = json.loads(capsys.readouterr().out)
+    assert [spec["name"] for spec in specs] == list(scenario_names())
+
+
+def test_cli_show(capsys):
+    assert cli_main(["show", "fig2_qos"]) == 0
+    spec = json.loads(capsys.readouterr().out)
+    assert spec["workload_set"] == "scale-out"
+
+
+def test_cli_show_unknown_fails(capsys):
+    assert cli_main(["show", "no_such"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_run_table(capsys):
+    assert cli_main(["run", "table1_ddr4"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario: table1_ddr4" in out
+    assert "Web Search" in out
+
+
+def test_cli_run_json_and_csv_files(tmp_path, capsys):
+    assert (
+        cli_main(
+            [
+                "run",
+                "fig4_virtualized",
+                "--format",
+                "json",
+                "--sweep",
+                "--output",
+                str(tmp_path / "fig4.json"),
+            ]
+        )
+        == 0
+    )
+    data = json.loads((tmp_path / "fig4.json").read_text())
+    assert data["scenario"] == "fig4_virtualized"
+    assert len(data["sweep"]) == data["key_scalars"]["rows"]
+
+    assert (
+        cli_main(
+            ["run", "table1_ddr4", "--format", "csv", "--outdir", str(tmp_path)]
+        )
+        == 0
+    )
+    csv_text = (tmp_path / "table1_ddr4.csv").read_text()
+    assert csv_text.splitlines()[0].startswith("scenario,workload_name")
+
+
+def test_cli_run_rejects_bad_usage(capsys, tmp_path):
+    assert cli_main(["run"]) == 2
+    assert cli_main(["run", "fig2_qos", "--all"]) == 2
+    assert (
+        cli_main(
+            [
+                "run",
+                "fig2_qos",
+                "fig3_scaleout",
+                "--output",
+                str(tmp_path / "x.json"),
+            ]
+        )
+        == 2
+    )
+    assert cli_main(["run", "no_such"]) == 2
+
+
+def test_cli_run_parallel_matches_serial(tmp_path):
+    for flag, path in ((None, "serial.json"), ("--parallel", "parallel.json")):
+        argv = ["run", "fig2_qos", "--format", "json", "--sweep"]
+        if flag:
+            argv.append(flag)
+        argv += ["--output", str(tmp_path / path)]
+        assert cli_main(argv) == 0
+    serial = json.loads((tmp_path / "serial.json").read_text())
+    parallel = json.loads((tmp_path / "parallel.json").read_text())
+    assert serial == parallel

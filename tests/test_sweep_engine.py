@@ -287,3 +287,18 @@ def test_result_optional_columns_round_trip_none(sweep):
     assert scale_out.record(0).degradation is None
     assert virtualized.record(0).latency_seconds is None
     assert virtualized.record(0).degradation is not None
+
+
+def test_group_by_nan_keys_form_one_group(sweep):
+    """Grouping by an optional column must not lose NaN rows (mixed sweep)."""
+    import math
+
+    groups = sweep.group_by("degradation")
+    grouped_rows = sum(len(rows) for rows in groups.values())
+    assert grouped_rows == len(sweep)
+    nan_keys = [key for key in groups if isinstance(key, float) and math.isnan(key)]
+    assert len(nan_keys) == 1
+    nan_group = groups[nan_keys[0]]
+    # Exactly the scale-out rows (no degradation) land in the NaN group.
+    assert set(nan_group.column("workload_class")) == {"scale-out"}
+    assert len(nan_group) == len(sweep.filter(workload_class="scale-out"))
