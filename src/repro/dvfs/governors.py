@@ -1,0 +1,277 @@
+"""DVFS governor policies.
+
+A :class:`Governor` maps one load observation to the frequency the
+server should run during the next trace step.  The four classic Linux
+cpufreq policies are reproduced (``performance``, ``powersave``,
+``ondemand``, ``conservative``) plus the paper-motivated
+``qos_tracker``: the policy a near-threshold server actually wants,
+which picks the *lowest* frequency that both covers the offered load
+and satisfies the operating point's QoS (tail latency for scale-out
+workloads, the execution-time degradation bound for VMs).
+
+Governors see the platform through a :class:`PlatformView`: the
+reachable frequency grid with, per frequency, the sustained throughput
+and whether the operating point meets QoS.  All state a policy needs
+across steps (the previous frequency) is part of the
+:class:`LoadObservation`, so governor instances are immutable and
+reusable across replays.
+
+Unlike the kernel's sampling governors, ``ondemand`` here keys its
+decisions off the *normalised* offered load (demand over nominal
+throughput) rather than the load measured at the current frequency;
+this keeps the policy memoryless, which the replay test layer exploits
+(step-energy sums are then invariant under trace reordering).
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.utils.validation import check_fraction
+
+_DEMAND_TOLERANCE = 1.0 + 1e-12
+"""Capacity slack tolerance: covers float noise in demand comparisons."""
+
+
+@dataclass(frozen=True)
+class PlatformView:
+    """What a governor may know about the machine.
+
+    ``frequencies`` is the reachable grid in ascending order;
+    ``capacity_uips`` the sustained chip throughput at each frequency
+    and ``qos_ok`` whether the operating point meets the workload's QoS
+    there.  Demand is expressed in UIPS against
+    :attr:`nominal_frequency_hz` (the top of the grid).
+    """
+
+    frequencies: Tuple[float, ...]
+    capacity_uips: Mapping[float, float]
+    qos_ok: Mapping[float, bool]
+
+    def __post_init__(self) -> None:
+        if not self.frequencies:
+            raise ValueError("platform view needs at least one frequency")
+        if list(self.frequencies) != sorted(self.frequencies):
+            raise ValueError(
+                f"platform frequencies must be ascending, got {self.frequencies}"
+            )
+        for frequency in self.frequencies:
+            if frequency not in self.capacity_uips:
+                raise ValueError(f"missing capacity for {frequency} Hz")
+            if frequency not in self.qos_ok:
+                raise ValueError(f"missing QoS flag for {frequency} Hz")
+
+    @property
+    def min_frequency_hz(self) -> float:
+        """Bottom of the reachable grid."""
+        return self.frequencies[0]
+
+    @property
+    def nominal_frequency_hz(self) -> float:
+        """Top of the reachable grid (the demand reference)."""
+        return self.frequencies[-1]
+
+    @property
+    def nominal_capacity_uips(self) -> float:
+        """Throughput at the nominal frequency."""
+        return self.capacity_uips[self.nominal_frequency_hz]
+
+    def covers(self, frequency_hz: float, demand_uips: float) -> bool:
+        """True when ``frequency_hz`` sustains ``demand_uips``."""
+        return self.capacity_uips[frequency_hz] * _DEMAND_TOLERANCE >= demand_uips
+
+    def lowest_covering(
+        self, demand_uips: float, require_qos: bool = False
+    ) -> float | None:
+        """Lowest frequency that covers the demand (optionally QoS-clean)."""
+        for frequency in self.frequencies:
+            if not self.covers(frequency, demand_uips):
+                continue
+            if require_qos and not self.qos_ok[frequency]:
+                continue
+            return frequency
+        return None
+
+    def neighbour(self, frequency_hz: float, step: int) -> float:
+        """The grid frequency ``step`` notches away, clamped to the grid."""
+        index = bisect.bisect_left(self.frequencies, frequency_hz)
+        if (
+            index >= len(self.frequencies)
+            or self.frequencies[index] != frequency_hz
+        ):
+            raise ValueError(
+                f"{frequency_hz} Hz is not on the platform grid "
+                f"{self.frequencies}"
+            )
+        clamped = min(max(index + step, 0), len(self.frequencies) - 1)
+        return self.frequencies[clamped]
+
+
+@dataclass(frozen=True)
+class LoadObservation:
+    """One step's input to a governor decision.
+
+    ``utilization`` is the offered load as a fraction of the nominal
+    throughput, ``demand_uips`` the same demand in absolute UIPS, and
+    ``previous_frequency_hz`` the frequency the machine ran during the
+    previous step (the nominal frequency on the first step).
+    """
+
+    utilization: float
+    demand_uips: float
+    previous_frequency_hz: float
+
+
+class Governor(ABC):
+    """Frequency-selection policy: one observation in, one frequency out."""
+
+    name: str = "governor"
+
+    @abstractmethod
+    def select(
+        self, observation: LoadObservation, platform: PlatformView
+    ) -> float:
+        """The frequency to run during the observed step."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True)
+class PerformanceGovernor(Governor):
+    """Always the highest reachable frequency (the race-to-the-top pin)."""
+
+    name = "performance"
+
+    def select(self, observation: LoadObservation, platform: PlatformView) -> float:
+        return platform.nominal_frequency_hz
+
+
+@dataclass(frozen=True)
+class PowersaveGovernor(Governor):
+    """Always the lowest reachable frequency, whatever the load."""
+
+    name = "powersave"
+
+    def select(self, observation: LoadObservation, platform: PlatformView) -> float:
+        return platform.min_frequency_hz
+
+
+@dataclass(frozen=True)
+class OndemandGovernor(Governor):
+    """Jump to the top above ``up_threshold``, else scale with the load.
+
+    Below the threshold the target is the lowest frequency whose
+    throughput, derated by ``up_threshold``, still covers the demand --
+    the kernel's ``target = load * max / up_threshold`` proportional
+    rule mapped onto a discrete grid.
+    """
+
+    up_threshold: float = 0.8
+    name = "ondemand"
+
+    def __post_init__(self) -> None:
+        check_fraction("up_threshold", self.up_threshold)
+        if self.up_threshold <= 0.0:
+            raise ValueError(
+                f"up_threshold must be positive, got {self.up_threshold}"
+            )
+
+    def select(self, observation: LoadObservation, platform: PlatformView) -> float:
+        if observation.utilization > self.up_threshold:
+            return platform.nominal_frequency_hz
+        target = observation.demand_uips / self.up_threshold
+        frequency = platform.lowest_covering(target)
+        return (
+            frequency if frequency is not None else platform.nominal_frequency_hz
+        )
+
+
+@dataclass(frozen=True)
+class ConservativeGovernor(Governor):
+    """Move one grid notch at a time toward the load.
+
+    Steps up when the load at the previous frequency exceeds
+    ``up_threshold``, down when it falls below ``down_threshold``;
+    otherwise holds.  The gradual ramp is the point: it trades reaction
+    latency (QoS violations on burst fronts) for frequency stability.
+    """
+
+    up_threshold: float = 0.75
+    down_threshold: float = 0.3
+    name = "conservative"
+
+    def __post_init__(self) -> None:
+        check_fraction("up_threshold", self.up_threshold)
+        check_fraction("down_threshold", self.down_threshold)
+        if self.down_threshold >= self.up_threshold:
+            raise ValueError(
+                f"down_threshold ({self.down_threshold}) must be below "
+                f"up_threshold ({self.up_threshold})"
+            )
+
+    def select(self, observation: LoadObservation, platform: PlatformView) -> float:
+        previous = observation.previous_frequency_hz
+        capacity = platform.capacity_uips[previous]
+        load = observation.demand_uips / capacity if capacity > 0 else 1.0
+        if load > self.up_threshold:
+            return platform.neighbour(previous, +1)
+        if load < self.down_threshold:
+            return platform.neighbour(previous, -1)
+        return previous
+
+
+@dataclass(frozen=True)
+class QosTrackerGovernor(Governor):
+    """Lowest frequency that covers the load *and* meets the QoS bound.
+
+    This is the paper's operating-point selection turned into a policy:
+    ride the V/f curve down to the QoS floor, never below it.  When no
+    frequency is simultaneously feasible (a burst beyond every
+    QoS-clean point) the policy falls back to the nominal frequency,
+    which serves the most load at the smallest violation.
+    """
+
+    name = "qos_tracker"
+
+    def select(self, observation: LoadObservation, platform: PlatformView) -> float:
+        frequency = platform.lowest_covering(
+            observation.demand_uips, require_qos=True
+        )
+        return (
+            frequency if frequency is not None else platform.nominal_frequency_hz
+        )
+
+
+GOVERNORS: Dict[str, type] = {
+    "performance": PerformanceGovernor,
+    "powersave": PowersaveGovernor,
+    "ondemand": OndemandGovernor,
+    "conservative": ConservativeGovernor,
+    "qos_tracker": QosTrackerGovernor,
+}
+"""Governor factories by policy name, in canonical comparison order."""
+
+MEMORYLESS_GOVERNORS = ("performance", "powersave", "ondemand", "qos_tracker")
+"""Policies whose decisions depend only on the current observation."""
+
+
+def governor_by_name(name: str) -> Governor:
+    """Instantiate a governor by policy name.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is unknown; the message lists the known policies.
+    """
+    try:
+        factory = GOVERNORS[name]
+    except KeyError:
+        known = ", ".join(GOVERNORS)
+        raise ValueError(
+            f"unknown governor {name!r}; known governors: {known}"
+        ) from None
+    return factory()

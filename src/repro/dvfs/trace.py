@@ -1,0 +1,277 @@
+"""Time-varying load traces for governor replay.
+
+A :class:`LoadTrace` is a fixed-step utilisation series: step ``t``
+offers ``utilization[t]`` of the server's nominal (2GHz) throughput for
+``step_seconds``.  The paper's sweeps pick one operating point per
+load level; the consolidation story only pays off when a governor can
+ride the V/f curve as the load moves, so this module supplies the load
+signals: a constant reference, a diurnal daily curve, a two-state
+bursty process, and a replay derived from the synthetic Bitbrains VM
+population of :mod:`repro.workloads.bitbrains`.
+
+Every generator is deterministic given its seed (a local
+``numpy.random.default_rng``; no global random state), so replay tables
+are bit-for-bit reproducible and can be pinned by golden fixtures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.workloads.bitbrains import BitbrainsTraceModel
+
+
+@dataclass(frozen=True)
+class LoadTrace:
+    """A fixed-step utilisation series.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the trace (used in tables and summaries).
+    step_seconds:
+        Duration of every step; must be positive and finite.
+    utilization:
+        One offered-load level per step, each in ``[0, 1]``: the
+        fraction of the server's nominal-frequency throughput the load
+        demands during that step.  A value above 1 would ask for more
+        than the machine can ever serve and is rejected.
+    """
+
+    name: str
+    step_seconds: float
+    utilization: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.step_seconds) or self.step_seconds <= 0.0:
+            raise ValueError(
+                f"trace {self.name!r}: step duration must be positive and "
+                f"finite, got {self.step_seconds}"
+            )
+        if not self.utilization:
+            raise ValueError(
+                f"trace {self.name!r}: must contain at least one step"
+            )
+        for index, value in enumerate(self.utilization):
+            if not math.isfinite(value) or value < 0.0:
+                raise ValueError(
+                    f"trace {self.name!r}: utilisation at step {index} must "
+                    f"be finite and non-negative, got {value}"
+                )
+            if value > 1.0:
+                raise ValueError(
+                    f"trace {self.name!r}: utilisation at step {index} "
+                    f"exceeds 1 ({value}); loads are fractions of the "
+                    "nominal-frequency throughput"
+                )
+
+    # -- views ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.utilization)
+
+    @property
+    def steps(self) -> int:
+        """Number of steps in the trace."""
+        return len(self.utilization)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Total trace duration."""
+        return self.step_seconds * len(self.utilization)
+
+    def times(self) -> np.ndarray:
+        """Start time of every step, in seconds."""
+        return np.arange(len(self.utilization), dtype=np.float64) * self.step_seconds
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average offered load over the trace."""
+        return float(np.mean(self.utilization))
+
+    @property
+    def peak_utilization(self) -> float:
+        """Highest offered load in the trace."""
+        return float(np.max(self.utilization))
+
+    def head(self, steps: int) -> "LoadTrace":
+        """The first ``steps`` steps as a new trace."""
+        if steps < 1:
+            raise ValueError(f"head needs at least one step, got {steps}")
+        return LoadTrace(
+            name=self.name,
+            step_seconds=self.step_seconds,
+            utilization=self.utilization[:steps],
+        )
+
+    def permuted(self, order) -> "LoadTrace":
+        """The same steps in a different order (for invariance tests)."""
+        indices = list(order)
+        if sorted(indices) != list(range(len(self.utilization))):
+            raise ValueError(
+                f"trace {self.name!r}: permutation must reorder exactly the "
+                f"{len(self.utilization)} steps"
+            )
+        return LoadTrace(
+            name=f"{self.name} (permuted)",
+            step_seconds=self.step_seconds,
+            utilization=tuple(self.utilization[i] for i in indices),
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-able description (pinned by the golden fixtures)."""
+        return {
+            "name": self.name,
+            "steps": self.steps,
+            "step_seconds": self.step_seconds,
+            "duration_seconds": self.duration_seconds,
+            "mean_utilization": self.mean_utilization,
+            "peak_utilization": self.peak_utilization,
+        }
+
+    # -- generators ------------------------------------------------------------------
+
+    @classmethod
+    def constant(
+        cls,
+        utilization: float = 0.6,
+        steps: int = 24,
+        step_seconds: float = 300.0,
+        name: str = "constant",
+    ) -> "LoadTrace":
+        """A flat load: every step offers the same utilisation."""
+        return cls(
+            name=name,
+            step_seconds=step_seconds,
+            utilization=(float(utilization),) * int(steps),
+        )
+
+    @classmethod
+    def diurnal(
+        cls,
+        steps: int = 48,
+        step_seconds: float = 1800.0,
+        low: float = 0.15,
+        high: float = 0.9,
+        noise: float = 0.03,
+        periods: float = 1.0,
+        seed: int = 2016,
+        name: str = "diurnal",
+    ) -> "LoadTrace":
+        """A smooth day/night curve: trough ``low``, peak ``high``.
+
+        The defaults model one day in 30-minute steps, the canonical
+        interactive-service shape (morning ramp, evening peak, night
+        trough) plus small Gaussian measurement noise.
+        """
+        rng = np.random.default_rng(seed)
+        phase = 2.0 * math.pi * periods * (np.arange(steps) + 0.5) / steps
+        base = low + (high - low) * 0.5 * (1.0 - np.cos(phase))
+        values = np.clip(base + rng.normal(0.0, noise, steps), 0.0, 1.0)
+        return cls(
+            name=name, step_seconds=step_seconds, utilization=tuple(map(float, values))
+        )
+
+    @classmethod
+    def bursty(
+        cls,
+        steps: int = 120,
+        step_seconds: float = 60.0,
+        base: float = 0.2,
+        burst: float = 0.95,
+        burst_start_probability: float = 0.08,
+        burst_stop_probability: float = 0.35,
+        noise: float = 0.02,
+        seed: int = 2016,
+        name: str = "bursty",
+    ) -> "LoadTrace":
+        """A two-state Markov load: quiet baseline with load spikes.
+
+        The chain starts quiet, enters a burst with probability
+        ``burst_start_probability`` per step and leaves it with
+        probability ``burst_stop_probability``, giving geometrically
+        distributed burst lengths -- the memcached-style flash-crowd
+        pattern that punishes slow-reacting governors.
+        """
+        rng = np.random.default_rng(seed)
+        values = np.empty(steps, dtype=np.float64)
+        in_burst = False
+        for index in range(steps):
+            if in_burst:
+                in_burst = rng.random() >= burst_stop_probability
+            else:
+                in_burst = rng.random() < burst_start_probability
+            level = burst if in_burst else base
+            values[index] = level + rng.normal(0.0, noise)
+        values = np.clip(values, 0.0, 1.0)
+        return cls(
+            name=name, step_seconds=step_seconds, utilization=tuple(map(float, values))
+        )
+
+    @classmethod
+    def from_bitbrains(
+        cls,
+        steps: int = 288,
+        step_seconds: float = 300.0,
+        vms_per_step: int = 32,
+        target_mean: float = 0.45,
+        model: BitbrainsTraceModel | None = None,
+        seed: int = 2016,
+        name: str = "bitbrains",
+    ) -> "LoadTrace":
+        """A utilisation replay derived from the Bitbrains population.
+
+        Each 300-second step (the dataset's sampling interval) draws
+        ``vms_per_step`` VMs from the synthetic Bitbrains population
+        and consolidates their CPU utilisations onto the server; a
+        diurnal envelope reproduces the business-hours swing of the
+        dataset's business-critical VMs.  ``target_mean`` rescales the
+        consolidated signal so the server runs at a realistic average
+        load; the result is clipped to ``[0, 1]``.
+        """
+        if model is None:
+            model = BitbrainsTraceModel(seed=seed)
+        cpu = np.array(
+            [sample.cpu_utilization for sample in model.samples()], dtype=np.float64
+        )
+        rng = np.random.default_rng(seed)
+        draws = rng.integers(0, len(cpu), size=(steps, vms_per_step))
+        chunk_means = cpu[draws].mean(axis=1)
+        phase = 2.0 * math.pi * (np.arange(steps) + 0.5) / steps
+        envelope = 0.55 + 0.45 * 0.5 * (1.0 - np.cos(phase))
+        raw = chunk_means * envelope
+        values = np.clip(raw * (target_mean / raw.mean()), 0.0, 1.0)
+        return cls(
+            name=name, step_seconds=step_seconds, utilization=tuple(map(float, values))
+        )
+
+
+LOAD_TRACES = {
+    "constant": LoadTrace.constant,
+    "diurnal": LoadTrace.diurnal,
+    "bursty": LoadTrace.bursty,
+    "bitbrains": LoadTrace.from_bitbrains,
+}
+"""Named trace generators scenario specs can reference (defaults only)."""
+
+
+def load_trace_by_name(name: str) -> LoadTrace:
+    """Build a named trace with its default parameters.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is unknown; the message lists what is available.
+    """
+    try:
+        factory = LOAD_TRACES[name]
+    except KeyError:
+        known = ", ".join(sorted(LOAD_TRACES))
+        raise ValueError(
+            f"unknown load trace {name!r}; known traces: {known}"
+        ) from None
+    return factory()

@@ -178,6 +178,62 @@ def _plan_dict(plan) -> dict:
     return data
 
 
+def dvfs_replay(
+    spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
+) -> dict:
+    """Governor replay of the spec's load trace over each workload.
+
+    Replays every requested governor (all registered ones when the spec
+    names none) on the spec's named trace, reusing the scenario's
+    shared context so the operating points come from the same memoized
+    evaluations as the sweep.  Scalars -- per-governor energy, mean
+    frequency, energy per unit of work, violations -- are golden-pinned;
+    the full per-step tables ride along under the private ``_steps``
+    key (rendered by the CLI, excluded from the golden fixtures).
+    """
+    from repro.dvfs import GOVERNORS, GovernorSimulator, load_trace_by_name
+
+    if spec.load_trace is None:
+        raise ValueError(
+            f"scenario {spec.name!r}: the dvfs_replay analysis needs "
+            "load_trace to be set"
+        )
+    trace = load_trace_by_name(spec.load_trace)
+    governor_names = spec.governors or tuple(GOVERNORS)
+
+    summaries: Dict[str, dict] = {}
+    steps: Dict[str, dict] = {}
+    best: Dict[str, object] = {}
+    for name, workload in spec.workloads().items():
+        simulator = GovernorSimulator(
+            context, workload, frequencies=spec.frequency_grid_hz
+        )
+        replays = simulator.compare(trace, governor_names)
+        summaries[name] = {
+            governor: replay.summary() for governor, replay in replays.items()
+        }
+        steps[name] = {
+            governor: replay.to_dicts() for governor, replay in replays.items()
+        }
+        clean = {
+            governor: replay
+            for governor, replay in replays.items()
+            if replay.violation_count == 0
+        }
+        best[name] = (
+            min(clean, key=lambda governor: clean[governor].total_energy_j)
+            if clean
+            else None
+        )
+    return {
+        "trace": trace.summary(),
+        "governors": list(governor_names),
+        "replays": summaries,
+        "best_governor_at_zero_violations": best,
+        "_steps": steps,
+    }
+
+
 ANALYSES: Dict[str, AnalysisFn] = {
     "qos_floors": qos_floors,
     "efficiency_optima": efficiency_optima,
@@ -186,5 +242,6 @@ ANALYSES: Dict[str, AnalysisFn] = {
     "body_bias": body_bias,
     "memory_technology": memory_technology,
     "consolidation": consolidation,
+    "dvfs_replay": dvfs_replay,
 }
 """Registry of derived analyses, keyed by the name specs declare."""

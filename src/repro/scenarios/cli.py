@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import List, Sequence
 
 from repro.scenarios.registry import REGISTRY, ScenarioRegistry
-from repro.scenarios.runner import ScenarioResult, ScenarioRunner
+from repro.scenarios.runner import ScenarioResult, ScenarioRunner, _public_tree
 from repro.sweep.result import COLUMNS
 
 
@@ -77,6 +77,36 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _render_replay_steps(extras: dict) -> List[str]:
+    """Per-step governor tables of a ``dvfs_replay`` analysis."""
+    from repro.utils.tables import format_table
+
+    steps = extras.get("dvfs_replay", {}).get("_steps", {})
+    lines: List[str] = []
+    for workload, by_governor in steps.items():
+        for governor, rows in by_governor.items():
+            lines.append("")
+            lines.append(f"replay: {workload} under {governor}")
+            lines.append(
+                format_table(
+                    ("step", "t (s)", "util", "f (MHz)", "P (W)", "E (J)", "QoS"),
+                    [
+                        (
+                            row["step"],
+                            f"{row['time_s']:.0f}",
+                            f"{row['utilization']:.2f}",
+                            f"{row['frequency_hz'] / 1e6:.0f}",
+                            f"{row['power_w']:.1f}",
+                            f"{row['energy_j']:.0f}",
+                            "violated" if row["violation"] else "ok",
+                        )
+                        for row in rows
+                    ],
+                )
+            )
+    return lines
+
+
 def _render_table(result: ScenarioResult) -> str:
     from repro.core.report import render_summary
 
@@ -91,7 +121,8 @@ def _render_table(result: ScenarioResult) -> str:
     if result.extras:
         lines.append("")
         lines.append("analyses: " + ", ".join(result.extras))
-        lines.append(json.dumps(result.extras, indent=2, sort_keys=True))
+        lines.append(json.dumps(_public_tree(result.extras), indent=2, sort_keys=True))
+        lines.extend(_render_replay_steps(result.extras))
     return "\n".join(lines)
 
 

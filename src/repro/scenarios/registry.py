@@ -168,6 +168,49 @@ def _builtin_specs() -> List[ScenarioSpec]:
             ),
         ),
         ScenarioSpec(
+            name="dvfs_diurnal_websearch",
+            title="DVFS governors riding a diurnal Web Search day (beyond the paper)",
+            workload_set=SCALE_OUT,
+            workload_names=("Web Search",),
+            load_trace="diurnal",
+            analyses=("dvfs_replay", "qos_floors"),
+            notes=(
+                "Time-varying extension of Figures 2/3: one day of "
+                "diurnal Web Search load in 30-minute steps, replayed "
+                "under all five governors; the QoS-aware policy should "
+                "track the QoS floor and beat the nominal pin on energy "
+                "at zero violations."
+            ),
+        ),
+        ScenarioSpec(
+            name="dvfs_bursty_dataserving",
+            title="DVFS governors under bursty Data Serving load",
+            workload_set=SCALE_OUT,
+            workload_names=("Data Serving",),
+            load_trace="bursty",
+            analyses=("dvfs_replay",),
+            notes=(
+                "Flash-crowd stress for the sampling governors: two "
+                "hours of two-state Markov load in one-minute steps; "
+                "the one-notch-at-a-time conservative policy pays for "
+                "its ramp latency on burst fronts."
+            ),
+        ),
+        ScenarioSpec(
+            name="dvfs_bitbrains_replay",
+            title="Bitbrains-derived utilisation replay over the banking VMs",
+            workload_set=VIRTUALIZED,
+            load_trace="bitbrains",
+            degradation_bound=4.0,
+            analyses=("dvfs_replay", "qos_floors"),
+            notes=(
+                "Server-consolidation replay: one day of utilisation "
+                "derived from the synthetic Bitbrains VM population in "
+                "the dataset's 300-second steps, under the relaxed 4x "
+                "degradation bound, for both VM memory classes."
+            ),
+        ),
+        ScenarioSpec(
             name="colocation_mixed",
             title="Mixed scale-out + VM colocation sweep (beyond the paper)",
             workload_set=ALL_WORKLOADS,

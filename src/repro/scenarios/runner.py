@@ -45,6 +45,24 @@ def _round_tree(value):
     return value
 
 
+def _public_tree(value):
+    """Drop underscore-prefixed dict keys from a nested JSON-able value.
+
+    Analyses use ``_``-prefixed keys for bulky row-level payloads (the
+    per-step governor replay tables) that the CLI renders but the
+    golden fixtures must not pin.
+    """
+    if isinstance(value, dict):
+        return {
+            key: _public_tree(item)
+            for key, item in value.items()
+            if not (isinstance(key, str) and key.startswith("_"))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_public_tree(item) for item in value]
+    return value
+
+
 @dataclass(eq=False)
 class ScenarioResult:
     """Everything one scenario run produced.
@@ -129,8 +147,9 @@ class ScenarioResult:
             # The declared analyses are scalar outputs of the scenario
             # too (consolidation plans, Table I, body-bias knobs, ...),
             # so the golden fixtures pin them alongside the sweep
-            # reductions.
-            "analyses": _round_tree(self.extras),
+            # reductions.  Underscore-prefixed keys carry row-level
+            # payloads (per-step replay tables) and are excluded.
+            "analyses": _round_tree(_public_tree(self.extras)),
         }
 
     def as_dict(self, include_sweep: bool = False) -> Dict[str, object]:

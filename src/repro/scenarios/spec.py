@@ -96,6 +96,14 @@ class ScenarioSpec:
         (must be >= 1: a VM cannot be required to beat its nominal).
     efficiency_scope:
         Scope whose efficiency defines the scenario's headline optimum.
+    load_trace:
+        Optional named time-varying load trace from
+        :data:`repro.dvfs.trace.LOAD_TRACES`; required by (and only
+        meaningful with) the ``dvfs_replay`` analysis.
+    governors:
+        Governor policy names from :data:`repro.dvfs.governors.GOVERNORS`
+        for the ``dvfs_replay`` analysis; empty means every registered
+        governor.
     analyses:
         Names of derived analyses (see
         :data:`repro.scenarios.analyses.ANALYSES`) computed from the
@@ -122,6 +130,8 @@ class ScenarioSpec:
     frequency_grid_hz: Tuple[float, ...] | None = None
     degradation_bound: float = DEGRADATION_LIMIT_RELAXED
     efficiency_scope: str = EfficiencyScope.SERVER.value
+    load_trace: str | None = None
+    governors: Tuple[str, ...] = ()
     analyses: Tuple[str, ...] = ()
     base_configuration: ServerConfiguration | None = None
     notes: str = ""
@@ -209,6 +219,29 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: unknown efficiency scope "
                 f"{self.efficiency_scope!r}; known scopes: {', '.join(scopes)}"
             )
+        # DVFS knobs are validated against the repro.dvfs registries;
+        # imported here to keep module import order acyclic.
+        from repro.dvfs.governors import GOVERNORS
+        from repro.dvfs.trace import LOAD_TRACES
+
+        if self.load_trace is not None and self.load_trace not in LOAD_TRACES:
+            known = ", ".join(sorted(LOAD_TRACES))
+            raise ValueError(
+                f"scenario {self.name!r}: unknown load trace "
+                f"{self.load_trace!r}; known traces: {known}"
+            )
+        unknown_governors = [g for g in self.governors if g not in GOVERNORS]
+        if unknown_governors:
+            known = ", ".join(GOVERNORS)
+            raise ValueError(
+                f"scenario {self.name!r}: unknown governors "
+                f"{unknown_governors}; known governors: {known}"
+            )
+        if len(set(self.governors)) != len(self.governors):
+            raise ValueError(
+                f"scenario {self.name!r}: governors contains duplicates: "
+                f"{self.governors}"
+            )
         # Analysis names are validated against the analysis registry;
         # imported here to keep module import order acyclic.
         from repro.scenarios.analyses import ANALYSES
@@ -219,6 +252,11 @@ class ScenarioSpec:
             raise ValueError(
                 f"scenario {self.name!r}: unknown analyses {unknown_analyses}; "
                 f"known analyses: {known}"
+            )
+        if "dvfs_replay" in self.analyses and self.load_trace is None:
+            raise ValueError(
+                f"scenario {self.name!r}: the dvfs_replay analysis needs "
+                "load_trace to be set"
             )
 
     # -- resolution -----------------------------------------------------------------

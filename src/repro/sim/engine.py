@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -37,7 +38,15 @@ class EventQueue:
         self._counter = itertools.count()
 
     def push(self, time: float, callback: Callable, label: str = "") -> Event:
-        """Schedule ``callback`` at ``time``."""
+        """Schedule ``callback`` at ``time``.
+
+        Times must be finite: a NaN compares false against everything,
+        which would silently break the heap invariant and make event
+        ordering (and therefore every replay) nondeterministic, so it
+        is rejected here rather than corrupting the queue.
+        """
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time}")
         if time < 0.0:
             raise ValueError(f"event time must be non-negative, got {time}")
         event = Event(time=time, sequence=next(self._counter), callback=callback, label=label)

@@ -20,8 +20,11 @@ from repro.core.config import default_server
 from repro.core.dse import DesignSpaceExplorer
 from repro.core.efficiency import EfficiencyAnalyzer
 from repro.core.qos import QosAnalyzer
+from repro.dvfs import GovernorSimulator, LoadTrace
 from repro.scenarios import REGISTRY, ScenarioRunner
 from repro.sweep.context import ModelContext
+from repro.workloads.banking_vm import VMS_LOW_MEM
+from repro.workloads.cloudsuite import WEB_SEARCH
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -33,6 +36,21 @@ def pytest_addoption(parser):
         default=False,
         help="regenerate the golden scenario fixtures in tests/golden/",
     )
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked @pytest.mark.slow (long trace replays)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(scope="session")
@@ -79,6 +97,35 @@ def efficiency_analyzer(default_configuration):
 def qos_analyzer(default_configuration):
     """A shared QoS analyzer for the default configuration."""
     return QosAnalyzer(default_configuration)
+
+
+@pytest.fixture(scope="session")
+def diurnal_trace():
+    """The default one-day diurnal load trace (48 half-hour steps)."""
+    return LoadTrace.diurnal()
+
+
+@pytest.fixture(scope="session")
+def bursty_trace():
+    """The default two-hour bursty load trace (120 one-minute steps)."""
+    return LoadTrace.bursty()
+
+
+@pytest.fixture(scope="session")
+def websearch_simulator(default_context):
+    """A governor simulator for Web Search on the shared default context.
+
+    The simulator memoises its platform view and the context memoises
+    the operating points, so every dvfs test shares one set of model
+    evaluations.  Treat as read-only shared state (replay, never mutate).
+    """
+    return GovernorSimulator(default_context, WEB_SEARCH)
+
+
+@pytest.fixture(scope="session")
+def vm_simulator(default_context):
+    """A governor simulator for the low-memory VM class (read-only)."""
+    return GovernorSimulator(default_context, VMS_LOW_MEM)
 
 
 @pytest.fixture(scope="session")

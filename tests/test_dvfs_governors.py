@@ -1,0 +1,157 @@
+"""Unit tests for the governor policies over a synthetic platform."""
+
+import pytest
+
+from repro.dvfs import (
+    GOVERNORS,
+    ConservativeGovernor,
+    LoadObservation,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PlatformView,
+    PowersaveGovernor,
+    QosTrackerGovernor,
+    governor_by_name,
+)
+
+# A toy platform: capacity proportional to frequency, QoS met from
+# 500MHz up (the QoS floor the paper reports for scale-out workloads).
+FREQS = (100e6, 500e6, 1000e6, 2000e6)
+PLATFORM = PlatformView(
+    frequencies=FREQS,
+    capacity_uips={f: f * 10.0 for f in FREQS},
+    qos_ok={100e6: False, 500e6: True, 1000e6: True, 2000e6: True},
+)
+
+
+def observe(utilization: float, previous: float = 2000e6) -> LoadObservation:
+    return LoadObservation(
+        utilization=utilization,
+        demand_uips=utilization * PLATFORM.nominal_capacity_uips,
+        previous_frequency_hz=previous,
+    )
+
+
+# -- platform view ----------------------------------------------------------------------
+
+
+def test_platform_view_validates_ordering_and_coverage():
+    with pytest.raises(ValueError, match="ascending"):
+        PlatformView(
+            frequencies=(2000e6, 100e6),
+            capacity_uips={2000e6: 1.0, 100e6: 1.0},
+            qos_ok={2000e6: True, 100e6: True},
+        )
+    with pytest.raises(ValueError, match="at least one frequency"):
+        PlatformView(frequencies=(), capacity_uips={}, qos_ok={})
+    with pytest.raises(ValueError, match="missing capacity"):
+        PlatformView(
+            frequencies=(100e6,), capacity_uips={}, qos_ok={100e6: True}
+        )
+    with pytest.raises(ValueError, match="missing QoS"):
+        PlatformView(
+            frequencies=(100e6,), capacity_uips={100e6: 1.0}, qos_ok={}
+        )
+
+
+def test_platform_lowest_covering_and_neighbour():
+    demand = 0.3 * PLATFORM.nominal_capacity_uips  # needs >= 600MHz capacity
+    assert PLATFORM.lowest_covering(demand) == 1000e6
+    assert PLATFORM.lowest_covering(demand, require_qos=True) == 1000e6
+    qos_demand = 0.01 * PLATFORM.nominal_capacity_uips
+    assert PLATFORM.lowest_covering(qos_demand) == 100e6
+    assert PLATFORM.lowest_covering(qos_demand, require_qos=True) == 500e6
+    assert PLATFORM.lowest_covering(2 * PLATFORM.nominal_capacity_uips) is None
+    assert PLATFORM.neighbour(500e6, +1) == 1000e6
+    assert PLATFORM.neighbour(500e6, -1) == 100e6
+    assert PLATFORM.neighbour(100e6, -1) == 100e6
+    assert PLATFORM.neighbour(2000e6, +1) == 2000e6
+    with pytest.raises(ValueError, match="not on the platform grid"):
+        PLATFORM.neighbour(750e6, +1)
+
+
+# -- policies ---------------------------------------------------------------------------
+
+
+def test_performance_always_pins_the_top():
+    governor = PerformanceGovernor()
+    for utilization in (0.0, 0.5, 1.0):
+        assert governor.select(observe(utilization), PLATFORM) == 2000e6
+
+
+def test_powersave_always_pins_the_bottom():
+    governor = PowersaveGovernor()
+    for utilization in (0.0, 0.5, 1.0):
+        assert governor.select(observe(utilization), PLATFORM) == 100e6
+
+
+def test_ondemand_jumps_above_threshold_and_scales_below():
+    governor = OndemandGovernor(up_threshold=0.8)
+    assert governor.select(observe(0.9), PLATFORM) == 2000e6
+    # u=0.5: target capacity 0.5/0.8 = 62.5% of nominal -> 2000MHz is
+    # the only frequency with enough derated headroom.
+    assert governor.select(observe(0.5), PLATFORM) == 2000e6
+    # u=0.15: 0.15/0.8 = 18.75% of nominal -> 500MHz (25%) covers it.
+    assert governor.select(observe(0.15), PLATFORM) == 500e6
+    assert governor.select(observe(0.02), PLATFORM) == 100e6
+
+
+def test_ondemand_threshold_is_validated():
+    with pytest.raises(ValueError):
+        OndemandGovernor(up_threshold=0.0)
+    with pytest.raises(ValueError):
+        OndemandGovernor(up_threshold=1.5)
+
+
+def test_conservative_moves_one_notch_toward_the_load():
+    governor = ConservativeGovernor(up_threshold=0.75, down_threshold=0.3)
+    # Load at the previous frequency (500MHz): demand 0.5*nominal is
+    # twice its capacity -> step up one notch only.
+    assert governor.select(observe(0.5, previous=500e6), PLATFORM) == 1000e6
+    # Load far below the down threshold -> one notch down.
+    assert governor.select(observe(0.01, previous=1000e6), PLATFORM) == 500e6
+    # In the comfort band -> hold.
+    assert governor.select(observe(0.25, previous=1000e6), PLATFORM) == 1000e6
+    # Clamped at the grid edges.
+    assert governor.select(observe(1.0, previous=2000e6), PLATFORM) == 2000e6
+    assert governor.select(observe(0.0, previous=100e6), PLATFORM) == 100e6
+
+
+def test_conservative_thresholds_must_be_ordered():
+    with pytest.raises(ValueError, match="down_threshold"):
+        ConservativeGovernor(up_threshold=0.3, down_threshold=0.5)
+
+
+def test_qos_tracker_respects_the_qos_floor_and_the_demand():
+    governor = QosTrackerGovernor()
+    # Tiny load: the lowest frequency would cover it, but 100MHz is
+    # below the QoS floor -> 500MHz.
+    assert governor.select(observe(0.01), PLATFORM) == 500e6
+    # Heavier load: the QoS floor no longer binds, capacity does.
+    assert governor.select(observe(0.3), PLATFORM) == 1000e6
+    assert governor.select(observe(0.9), PLATFORM) == 2000e6
+
+
+def test_qos_tracker_falls_back_to_nominal_when_nothing_is_feasible():
+    hopeless = PlatformView(
+        frequencies=FREQS,
+        capacity_uips={f: f * 10.0 for f in FREQS},
+        qos_ok={f: False for f in FREQS},
+    )
+    governor = QosTrackerGovernor()
+    assert governor.select(observe(0.5), hopeless) == 2000e6
+
+
+# -- registry ---------------------------------------------------------------------------
+
+
+def test_governor_by_name_builds_every_registered_policy():
+    for name in GOVERNORS:
+        assert governor_by_name(name).name == name
+
+
+def test_unknown_governor_name_lists_known_ones():
+    with pytest.raises(ValueError, match="unknown governor") as error:
+        governor_by_name("schedutil")
+    for known in GOVERNORS:
+        assert known in str(error.value)

@@ -1,0 +1,120 @@
+"""Tests for the load-trace abstraction and its generators."""
+
+import numpy as np
+import pytest
+
+from repro.dvfs import LOAD_TRACES, LoadTrace, load_trace_by_name
+from repro.workloads.bitbrains import BitbrainsTraceModel
+
+
+# -- validation / failure modes --------------------------------------------------------
+
+
+def test_empty_trace_is_rejected():
+    with pytest.raises(ValueError, match="at least one step"):
+        LoadTrace(name="empty", step_seconds=60.0, utilization=())
+
+
+@pytest.mark.parametrize("duration", [0.0, -60.0, float("nan"), float("inf")])
+def test_non_positive_or_non_finite_duration_is_rejected(duration):
+    with pytest.raises(ValueError, match="step duration"):
+        LoadTrace(name="bad", step_seconds=duration, utilization=(0.5,))
+
+
+def test_utilization_above_one_is_rejected():
+    with pytest.raises(ValueError, match="exceeds 1"):
+        LoadTrace(name="over", step_seconds=60.0, utilization=(0.5, 1.2))
+
+
+@pytest.mark.parametrize("value", [-0.1, float("nan")])
+def test_negative_or_nan_utilization_is_rejected(value):
+    with pytest.raises(ValueError, match="finite and non-negative"):
+        LoadTrace(name="bad", step_seconds=60.0, utilization=(value,))
+
+
+def test_unknown_named_trace_lists_known_ones():
+    with pytest.raises(ValueError, match="unknown load trace") as error:
+        load_trace_by_name("tidal")
+    for known in LOAD_TRACES:
+        assert known in str(error.value)
+
+
+# -- views ------------------------------------------------------------------------------
+
+
+def test_trace_views():
+    trace = LoadTrace(name="t", step_seconds=30.0, utilization=(0.2, 0.4, 0.9))
+    assert len(trace) == trace.steps == 3
+    assert trace.duration_seconds == 90.0
+    assert list(trace.times()) == [0.0, 30.0, 60.0]
+    assert trace.mean_utilization == pytest.approx(0.5)
+    assert trace.peak_utilization == 0.9
+    assert trace.head(2).utilization == (0.2, 0.4)
+    summary = trace.summary()
+    assert summary["steps"] == 3 and summary["duration_seconds"] == 90.0
+
+
+def test_head_needs_at_least_one_step():
+    trace = LoadTrace.constant(0.5, steps=4)
+    with pytest.raises(ValueError):
+        trace.head(0)
+
+
+def test_permuted_reorders_steps_and_validates():
+    trace = LoadTrace(name="t", step_seconds=10.0, utilization=(0.1, 0.2, 0.3))
+    swapped = trace.permuted([2, 0, 1])
+    assert swapped.utilization == (0.3, 0.1, 0.2)
+    with pytest.raises(ValueError, match="permutation"):
+        trace.permuted([0, 0, 1])
+
+
+# -- generators -------------------------------------------------------------------------
+
+
+def test_constant_trace_is_flat():
+    trace = LoadTrace.constant(0.6, steps=10, step_seconds=5.0)
+    assert trace.utilization == (0.6,) * 10
+
+
+@pytest.mark.parametrize("name", sorted(LOAD_TRACES))
+def test_named_generators_produce_valid_traces(name):
+    trace = load_trace_by_name(name)
+    assert len(trace) >= 1
+    assert all(0.0 <= value <= 1.0 for value in trace.utilization)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [LoadTrace.diurnal, LoadTrace.bursty, LoadTrace.from_bitbrains],
+    ids=["diurnal", "bursty", "bitbrains"],
+)
+def test_generators_are_deterministic_in_the_seed(factory):
+    """Same seed -> identical trace; different seed -> different trace."""
+    assert factory(seed=7) == factory(seed=7)
+    assert factory(seed=7) != factory(seed=8)
+
+
+def test_diurnal_shape_peaks_mid_trace():
+    trace = LoadTrace.diurnal(noise=0.0)
+    values = np.array(trace.utilization)
+    mid = len(values) // 2
+    assert values[mid] > values[0]
+    assert values.max() <= 0.9 + 1e-9
+    assert values.min() >= 0.15 - 1e-9
+
+
+def test_bursty_visits_both_states():
+    trace = LoadTrace.bursty(steps=300, noise=0.0, seed=3)
+    values = set(trace.utilization)
+    assert values == {0.2, 0.95}
+
+
+def test_bitbrains_trace_follows_population_seed():
+    model = BitbrainsTraceModel(vm_count=200, seed=11)
+    left = LoadTrace.from_bitbrains(steps=24, model=model, seed=5)
+    right = LoadTrace.from_bitbrains(steps=24, model=model, seed=5)
+    assert left == right
+    other_population = LoadTrace.from_bitbrains(
+        steps=24, model=BitbrainsTraceModel(vm_count=200, seed=12), seed=5
+    )
+    assert left != other_population

@@ -198,3 +198,41 @@ def test_duplicate_scenario_registration_rejected():
     registry.register(ScenarioSpec(name="dup", title="t"))
     with pytest.raises(ValueError, match="already registered"):
         registry.register(ScenarioSpec(name="dup", title="t"))
+
+
+def test_scenario_unknown_load_trace_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="unknown load trace 'tidal'"):
+        ScenarioSpec(name="bad", title="t", load_trace="tidal")
+
+
+def test_scenario_unknown_governor_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="unknown governors"):
+        ScenarioSpec(
+            name="bad",
+            title="t",
+            load_trace="diurnal",
+            governors=("performance", "schedutil"),
+        )
+
+
+def test_scenario_duplicate_governors_rejected():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="governors contains duplicates"):
+        ScenarioSpec(
+            name="bad",
+            title="t",
+            load_trace="diurnal",
+            governors=("performance", "performance"),
+        )
+
+
+def test_scenario_dvfs_replay_requires_a_load_trace():
+    from repro.scenarios import ScenarioSpec
+
+    with pytest.raises(ValueError, match="needs load_trace"):
+        ScenarioSpec(name="bad", title="t", analyses=("dvfs_replay",))

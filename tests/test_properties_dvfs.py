@@ -1,0 +1,143 @@
+"""Property tests over the DVFS governor replay layer.
+
+The four invariants the satellite layer locks down:
+
+* the ``performance`` governor's energy bounds every other governor's
+  from above on the same trace (server power is monotone in frequency
+  and performance pins the top, so the bound holds per step);
+* ``qos_tracker`` never exceeds the degradation bound on virtualized
+  workloads (its fallback, the nominal point, has degradation 1);
+* a constant-load replay equals the corresponding single-point
+  :class:`ModelContext` evaluation repeated;
+* step-energy sums of memoryless governors are invariant under trace
+  reordering (each step's energy depends only on its own load).
+
+Traces are hypothesis-sampled; the simulators come from the shared
+session fixtures, so hypothesis' many examples reuse one set of
+memoized operating points.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dvfs import GOVERNORS, MEMORYLESS_GOVERNORS, LoadTrace
+
+utilizations = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=24,
+)
+
+
+def make_trace(values, step_seconds=60.0) -> LoadTrace:
+    return LoadTrace(
+        name="sampled", step_seconds=step_seconds, utilization=tuple(values)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=utilizations)
+def test_performance_energy_bounds_every_governor(
+    values, websearch_simulator
+):
+    trace = make_trace(values)
+    replays = websearch_simulator.compare(trace)
+    performance = replays["performance"]
+    for name, replay in replays.items():
+        # The bound holds step by step, hence also in total.
+        assert np.all(
+            replay.column("energy_j")
+            <= performance.column("energy_j") * (1 + 1e-12)
+        ), name
+        assert replay.total_energy_j <= performance.total_energy_j * (
+            1 + 1e-12
+        ), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=utilizations)
+def test_qos_tracker_never_exceeds_the_degradation_bound(
+    values, vm_simulator
+):
+    trace = make_trace(values)
+    replay = vm_simulator.replay(trace, "qos_tracker")
+    degradation = replay.column("qos_metric")
+    bound = vm_simulator.context.degradation_bound
+    assert np.all(degradation <= bound + 1e-9)
+    assert replay.violation_count == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    utilization=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    steps=st.integers(min_value=1, max_value=12),
+)
+def test_constant_load_equals_point_evaluation(
+    utilization, steps, websearch_simulator, default_context
+):
+    from repro.workloads.cloudsuite import WEB_SEARCH
+
+    trace = LoadTrace.constant(utilization, steps=steps, step_seconds=30.0)
+    for name in MEMORYLESS_GOVERNORS:
+        replay = websearch_simulator.replay(trace, name)
+        frequencies = set(replay.column("frequency_hz"))
+        assert len(frequencies) == 1, f"{name} moved at constant load"
+        record = default_context.evaluate(WEB_SEARCH, frequencies.pop())
+        assert np.all(replay.column("power_w") == record.server_power)
+        assert np.all(replay.column("qos_ok") == record.meets_qos)
+    # Conservative ramps through a transient at constant load, but every
+    # step still equals the point evaluation at that step's frequency.
+    replay = websearch_simulator.replay(trace, "conservative")
+    for frequency, power, capacity in zip(
+        replay.column("frequency_hz"),
+        replay.column("power_w"),
+        replay.column("capacity_uips"),
+    ):
+        record = default_context.evaluate(WEB_SEARCH, float(frequency))
+        assert power == record.server_power
+        assert capacity == record.chip_uips
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_step_energy_sums_are_order_independent(data, websearch_simulator):
+    values = data.draw(utilizations)
+    order = data.draw(st.permutations(range(len(values))))
+    trace = make_trace(values)
+    shuffled = trace.permuted(order)
+    for name in MEMORYLESS_GOVERNORS:
+        original = websearch_simulator.replay(trace, name)
+        permuted = websearch_simulator.replay(shuffled, name)
+        # A memoryless policy maps each step independently, so the
+        # energy column is permuted with the trace ...
+        assert np.array_equal(
+            original.column("energy_j")[list(order)],
+            permuted.column("energy_j"),
+        ), name
+        # ... and the total is exactly invariant (same multiset of
+        # float addends in a different order is summed pairwise by
+        # numpy; compare via the sorted columns to stay exact).
+        assert np.array_equal(
+            np.sort(original.column("energy_j")),
+            np.sort(permuted.column("energy_j")),
+        ), name
+        assert permuted.total_energy_j == pytest.approx(
+            original.total_energy_j, rel=1e-12
+        ), name
+
+
+@settings(max_examples=10, deadline=None)
+@given(values=utilizations)
+def test_replay_is_deterministic_for_every_governor(
+    values, websearch_simulator
+):
+    trace = make_trace(values)
+    for name in GOVERNORS:
+        first = websearch_simulator.replay(trace, name)
+        second = websearch_simulator.replay(trace, name)
+        for column in ("frequency_hz", "energy_j", "violation"):
+            assert np.array_equal(
+                first.column(column), second.column(column)
+            ), (name, column)

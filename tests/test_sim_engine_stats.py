@@ -59,6 +59,55 @@ def test_cannot_schedule_in_the_past():
         simulator.schedule_at(0.5, lambda s: None)
 
 
+def test_non_finite_event_times_are_rejected():
+    """NaN/inf times would corrupt heap ordering nondeterministically."""
+    queue = EventQueue()
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            queue.push(bad, lambda s: None)
+    simulator = Simulator()
+    with pytest.raises(ValueError):
+        simulator.schedule(float("nan"), lambda s: None)
+    with pytest.raises(ValueError):
+        simulator.schedule_at(float("inf"), lambda s: None)
+
+
+def test_tie_breaking_is_fifo_across_interleaved_pushes_and_pops():
+    """Same-time events run in insertion order, even when scheduled mid-run."""
+    simulator = Simulator()
+    order = []
+
+    def spawner(sim):
+        order.append("spawner")
+        # Scheduled at the same time as the already-queued "sibling"
+        # events; FIFO tie-breaking must run them after the siblings.
+        sim.schedule(0.0, lambda s: order.append("child-a"))
+        sim.schedule(0.0, lambda s: order.append("child-b"))
+
+    simulator.schedule(1.0, spawner)
+    simulator.schedule(1.0, lambda s: order.append("sibling-1"))
+    simulator.schedule(1.0, lambda s: order.append("sibling-2"))
+    simulator.run()
+    assert order == ["spawner", "sibling-1", "sibling-2", "child-a", "child-b"]
+
+
+def test_event_order_reproducible_across_runs():
+    """Two identical schedules drain in the identical order."""
+
+    def drain():
+        simulator = Simulator()
+        order = []
+        for index in range(20):
+            time = float(index % 5)
+            simulator.schedule(
+                time, lambda s, i=index: order.append(i), label=f"e{index}"
+            )
+        simulator.run()
+        return order
+
+    assert drain() == drain()
+
+
 def test_empty_queue_pop_raises():
     with pytest.raises(IndexError):
         EventQueue().pop()
