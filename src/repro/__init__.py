@@ -27,6 +27,10 @@ Sub-packages
 ``repro.workloads``   CloudSuite-like and virtualized workload models
 ``repro.latency``     queueing, tail latency, degradation models
 ``repro.core``        server configuration, efficiency, QoS, DSE engine
+``repro.sweep``       batched sweep engine over a shared model context
+``repro.dvfs``        load traces and DVFS governor replay
+``repro.fleet``       multi-server fleets: routing, autoscaling, economics
+``repro.scenarios``   declarative scenario registry, runner and CLI
 ``repro.analysis``    figure/table data builders, paper-claim validation
 """
 

@@ -1,0 +1,134 @@
+"""Fleet autoscaling against a target-utilisation band.
+
+The :class:`Autoscaler` decides, at the start of every step, how many
+servers should be powered on: when the offered load pushes the serving
+fleet's utilisation above ``high`` it wakes machines, when the load
+falls below ``low`` it parks them, and in between it holds (the
+hysteresis band that keeps a smooth trace from flapping).  Scaling
+actions re-target the *middle* of the band, so one action lands the
+fleet utilisation comfortably inside it.
+
+Waking is not free: a woken server boots for ``wake_steps`` steps at
+the platform's lowest-V/f power before it can serve, and each wake
+charges ``wake_energy_j`` (spin-up, state transfer) to the woken node,
+so the fleet energy ledger still equals the sum of its nodes.
+
+Decisions are deterministic pure functions of (offered mass, current
+states): the lowest-id off nodes wake first and the highest-id serving
+nodes park first, matching ``pack``'s fill order so consolidation and
+scaling pull in the same direction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.utils.validation import check_non_negative
+
+from repro.fleet.node import NodeState, ServerNode
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """What the autoscaler did at one step (for the fleet columns)."""
+
+    woken: Tuple[int, ...] = ()
+    parked: Tuple[int, ...] = ()
+
+    @property
+    def wake_count(self) -> int:
+        """Number of servers whose boot began this step."""
+        return len(self.woken)
+
+
+@dataclass(frozen=True)
+class Autoscaler:
+    """Target-utilisation-band on/off scaling with wake penalties.
+
+    Parameters
+    ----------
+    low / high:
+        The serving-fleet utilisation band; scaling re-targets the
+        band's midpoint.  ``0 < low < high <= 1``.
+    min_servers:
+        Never park below this many powered-on servers.
+    wake_steps:
+        Boot latency in trace steps; during boot a node draws the
+        lowest-V/f power but serves nothing.  ``0`` makes wakes
+        instantaneous.
+    wake_energy_j:
+        One-shot energy charged to a node when its boot begins.
+    """
+
+    low: float = 0.35
+    high: float = 0.75
+    min_servers: int = 1
+    wake_steps: int = 1
+    wake_energy_j: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.low < self.high <= 1.0):
+            raise ValueError(
+                f"need 0 < low < high <= 1, got low={self.low} high={self.high}"
+            )
+        if self.min_servers < 1:
+            raise ValueError(
+                f"min_servers must be >= 1, got {self.min_servers}"
+            )
+        if self.wake_steps < 0:
+            raise ValueError(
+                f"wake_steps must be >= 0, got {self.wake_steps}"
+            )
+        check_non_negative("wake_energy_j", self.wake_energy_j)
+
+    @property
+    def target(self) -> float:
+        """The utilisation a scaling action re-targets (band midpoint)."""
+        return 0.5 * (self.low + self.high)
+
+    def desired_active(self, mass: float, fleet_size: int) -> int:
+        """Servers needed to hold ``mass`` at the band's midpoint."""
+        if mass <= 0.0:
+            return self.min_servers
+        needed = int(math.ceil(mass / self.target - 1e-12))
+        return max(self.min_servers, min(fleet_size, needed))
+
+    def scale(self, mass: float, nodes: Sequence[ServerNode]) -> ScalingDecision:
+        """Apply one scaling decision in place; returns what changed.
+
+        ``mass`` is the step's offered load in server-equivalents.
+        Booting nodes count as active capacity-to-be (they were already
+        paid for), so a sustained ramp wakes each server once.
+        """
+        serving = [n for n in nodes if n.state is NodeState.SERVING]
+        booting = [n for n in nodes if n.state is NodeState.BOOTING]
+        off = [n for n in nodes if n.state is NodeState.OFF]
+        active = len(serving) + len(booting)
+
+        utilization = mass / len(serving) if serving else math.inf
+        if utilization > self.high or utilization < self.low:
+            desired = self.desired_active(mass, fleet_size=len(nodes))
+        else:
+            desired = active
+
+        woken: List[int] = []
+        parked: List[int] = []
+        if desired > active:
+            for node in sorted(off, key=lambda n: n.node_id)[: desired - active]:
+                node.wake(self.wake_steps)
+                woken.append(node.node_id)
+        elif desired < active:
+            # Park booting nodes first (they serve nothing yet), then
+            # the highest-id serving nodes -- the reverse of pack's and
+            # wake's fill order, so node 0 stays up.  Exactly
+            # ``active - desired`` nodes park, so the active count
+            # lands on ``desired`` (>= min_servers by construction).
+            candidates = sorted(
+                booting, key=lambda n: n.node_id, reverse=True
+            ) + sorted(serving, key=lambda n: n.node_id, reverse=True)
+            for node in candidates[: active - desired]:
+                node.shut_down()
+                parked.append(node.node_id)
+        return ScalingDecision(woken=tuple(woken), parked=tuple(parked))

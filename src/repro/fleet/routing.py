@@ -1,0 +1,233 @@
+"""Request-routing policies: splitting fleet load across servers.
+
+A :class:`RoutingPolicy` maps one step's fleet-level demand onto the
+fleet's nodes.  Demand is expressed in *server-equivalents*: a mass of
+``1.0`` is one server's worth of nominal-frequency throughput, so a
+fleet trace at utilisation ``u`` over ``N`` servers carries a mass of
+``u * N``.  Policies return one utilisation share per node (fraction of
+that node's own nominal throughput), and the shares always sum to the
+offered mass -- load is conserved, never silently dropped at the router
+(a node that cannot serve its share records the violation instead).
+
+Four policies, mirroring the governor registry's shape:
+
+* ``round_robin`` -- the oblivious baseline: an even split across every
+  powered-on node, *including* nodes still booting (a DNS round-robin
+  does not know a server is warming up, so load sent there is lost).
+* ``least_loaded`` -- an even split weighted by each node's capacity at
+  its previous-step frequency: nodes already running fast receive more.
+* ``pack`` -- power-aware consolidation: fill serving nodes in index
+  order up to ``fill_fraction`` of nominal throughput, spilling the
+  remainder onward; with the autoscaler this minimises how many servers
+  must be awake.
+* ``spread`` -- power-aware balancing: an even split across *serving*
+  nodes only, minimising the per-server frequency (the right call when
+  every server must stay on and power is convex in frequency).
+
+All policies are stateless and deterministic; per-node state (previous
+frequency, boot progress) reaches them through the frozen
+:class:`NodeView` snapshots.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """What a routing policy may know about one node at one step.
+
+    ``serving`` nodes accept and serve load; ``booting`` nodes are
+    powered on but still warming up (only the oblivious policy routes
+    to them); nodes that are neither are off.  ``previous_capacity_uips``
+    is the node's throughput at the frequency it ran during the
+    previous step (its nominal throughput before the first step).
+    """
+
+    node_id: int
+    serving: bool
+    booting: bool
+    nominal_capacity_uips: float
+    previous_capacity_uips: float
+
+    @property
+    def active(self) -> bool:
+        """Powered on (serving or booting)."""
+        return self.serving or self.booting
+
+
+class RoutingPolicy(ABC):
+    """Load-splitting policy: one fleet demand in, per-node shares out."""
+
+    name: str = "routing"
+
+    @abstractmethod
+    def assign(
+        self, mass: float, nodes: Sequence[NodeView]
+    ) -> Tuple[float, ...]:
+        """Per-node utilisation shares for a fleet mass (same node order).
+
+        ``mass`` is the offered load in server-equivalents; the returned
+        shares sum to ``mass`` exactly up to float rounding.
+        """
+
+    @staticmethod
+    def _targets(nodes: Sequence[NodeView], serving_only: bool) -> list:
+        """The routable subset; falls back to every active node.
+
+        State-aware policies route to serving nodes, but during the very
+        first boot wave there may be none -- then the load has to go
+        *somewhere*, and the active set is the only honest choice.
+        """
+        targets = [
+            node
+            for node in nodes
+            if (node.serving if serving_only else node.active)
+        ]
+        if not targets:
+            targets = [node for node in nodes if node.active]
+        if not targets:
+            raise ValueError("cannot route load on a fleet with no active node")
+        return targets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True)
+class RoundRobinRouting(RoutingPolicy):
+    """Even split over every powered-on node (booting ones included)."""
+
+    name = "round_robin"
+
+    def assign(
+        self, mass: float, nodes: Sequence[NodeView]
+    ) -> Tuple[float, ...]:
+        targets = {node.node_id for node in self._targets(nodes, serving_only=False)}
+        share = mass / len(targets)
+        return tuple(
+            share if node.node_id in targets else 0.0 for node in nodes
+        )
+
+
+@dataclass(frozen=True)
+class LeastLoadedRouting(RoutingPolicy):
+    """Split proportionally to each serving node's previous-step capacity.
+
+    After a scale-up or under a ramping ``conservative`` governor the
+    nodes' previous frequencies differ; sending more load to the nodes
+    already running fast is the continuous-time limit of join-the-
+    shortest-queue.  With a homogeneous, settled fleet it degenerates to
+    an even split.
+    """
+
+    name = "least_loaded"
+
+    def assign(
+        self, mass: float, nodes: Sequence[NodeView]
+    ) -> Tuple[float, ...]:
+        targets = self._targets(nodes, serving_only=True)
+        weights: Dict[int, float] = {
+            node.node_id: node.previous_capacity_uips / node.nominal_capacity_uips
+            for node in targets
+        }
+        total = sum(weights.values())
+        if total <= 0.0:
+            # Degenerate previous capacities: fall back to an even split.
+            weights = {node.node_id: 1.0 for node in targets}
+            total = float(len(targets))
+        return tuple(
+            mass * (weights[node.node_id] / total)
+            if node.node_id in weights
+            else 0.0
+            for node in nodes
+        )
+
+
+@dataclass(frozen=True)
+class PackRouting(RoutingPolicy):
+    """Fill serving nodes in index order up to ``fill_fraction``.
+
+    Consolidation routing: the first node takes load up to
+    ``fill_fraction`` of its nominal throughput, the next takes the
+    spill, and so on; mass beyond every node's fill level is distributed
+    evenly (the fleet is overloaded and the violation accounting takes
+    over).  Packing concentrates work on the fewest servers, which is
+    what lets the autoscaler park the rest.
+    """
+
+    fill_fraction: float = 0.75
+    name = "pack"
+
+    def __post_init__(self) -> None:
+        check_fraction("fill_fraction", self.fill_fraction)
+        if self.fill_fraction <= 0.0:
+            raise ValueError(
+                f"fill_fraction must be positive, got {self.fill_fraction}"
+            )
+
+    def assign(
+        self, mass: float, nodes: Sequence[NodeView]
+    ) -> Tuple[float, ...]:
+        targets = self._targets(nodes, serving_only=True)
+        shares: Dict[int, float] = {node.node_id: 0.0 for node in targets}
+        remaining = mass
+        for node in sorted(targets, key=lambda node: node.node_id):
+            if remaining <= 0.0:
+                break
+            take = min(self.fill_fraction, remaining)
+            shares[node.node_id] = take
+            remaining -= take
+        if remaining > 0.0:
+            overflow = remaining / len(targets)
+            for node_id in shares:
+                shares[node_id] += overflow
+        return tuple(shares.get(node.node_id, 0.0) for node in nodes)
+
+
+@dataclass(frozen=True)
+class SpreadRouting(RoutingPolicy):
+    """Even split over serving nodes: minimise the per-server frequency."""
+
+    name = "spread"
+
+    def assign(
+        self, mass: float, nodes: Sequence[NodeView]
+    ) -> Tuple[float, ...]:
+        targets = {node.node_id for node in self._targets(nodes, serving_only=True)}
+        share = mass / len(targets)
+        return tuple(
+            share if node.node_id in targets else 0.0 for node in nodes
+        )
+
+
+ROUTERS: Dict[str, type] = {
+    "round_robin": RoundRobinRouting,
+    "least_loaded": LeastLoadedRouting,
+    "pack": PackRouting,
+    "spread": SpreadRouting,
+}
+"""Routing-policy factories by name, in canonical comparison order."""
+
+
+def router_by_name(name: str) -> RoutingPolicy:
+    """Instantiate a routing policy by name.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is unknown; the message lists the known policies.
+    """
+    try:
+        factory = ROUTERS[name]
+    except KeyError:
+        known = ", ".join(ROUTERS)
+        raise ValueError(
+            f"unknown routing policy {name!r}; known policies: {known}"
+        ) from None
+    return factory()

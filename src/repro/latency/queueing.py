@@ -95,11 +95,41 @@ class MG1Queue:
         """Mean time in system, seconds."""
         return self.mean_waiting_time + self.mean_service_time
 
-    def response_time_percentile(self, percentile: float) -> float:
-        """Approximate percentile assuming an exponential response tail."""
+    def response_time_percentile(
+        self, percentile: float, *, corrected: bool = False
+    ) -> float:
+        """Approximate response-time percentile.
+
+        The default (``corrected=False``) fits an exponential tail to
+        the mean response time: the service-time variability only enters
+        through the Pollaczek-Khinchine mean, not the tail *shape*, so
+        high-CV services are under-penalised at the far percentiles and
+        low-CV ones over-penalised at light load.
+
+        ``corrected=True`` applies the standard two-moment
+        (Marchal-style) refinement: the waiting time is modelled as an
+        atom of mass ``1 - rho`` at zero (the probability of finding the
+        server idle) plus an exponential tail whose conditional mean is
+        the P-K mean waiting time over ``rho``, and the service time is
+        added back deterministically.  For the M/M/1 special case this
+        converges to the exact percentile as ``rho -> 1``, and the
+        squared CV now scales the tail itself, not just the mean.
+        """
         if not (0.0 < percentile < 100.0):
             raise ValueError(f"percentile must be in (0, 100), got {percentile}")
-        return -math.log(1.0 - percentile / 100.0) * self.mean_response_time
+        tail_probability = 1.0 - percentile / 100.0
+        if not corrected:
+            return -math.log(tail_probability) * self.mean_response_time
+        rho = self.utilization
+        if tail_probability >= rho:
+            # The (1 - rho) idle atom already covers the percentile:
+            # the request never waits.
+            waiting_tail = 0.0
+        else:
+            waiting_tail = (self.mean_waiting_time / rho) * math.log(
+                rho / tail_probability
+            )
+        return self.mean_service_time + waiting_tail
 
     def max_stable_arrival_rate(self, safety_margin: float = 0.05) -> float:
         """Largest arrival rate keeping utilisation below 1 - margin."""

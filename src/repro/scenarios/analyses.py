@@ -234,6 +234,90 @@ def dvfs_replay(
     }
 
 
+def fleet_replay(
+    spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
+) -> dict:
+    """Multi-server fleet replay of the spec's load trace per workload.
+
+    Runs every requested routing policy (all registered ones when the
+    spec names none) over a fleet of ``spec.fleet_size`` servers, each
+    running its own ``spec.fleet_governor`` instance, against the
+    spec's named trace on the scenario's shared context.  When
+    ``spec.fleet_autoscale`` is set the default
+    :class:`~repro.fleet.autoscaler.Autoscaler` parks and wakes servers
+    against its utilisation band.  Per-routing scalars and the
+    :class:`~repro.fleet.economics.CostModel` rollups are golden-pinned;
+    the full per-step fleet tables ride along under the private
+    ``_steps`` key (rendered by the CLI, excluded from the goldens).
+
+    ``best_routing_at_zero_violations`` ranks by energy among routings
+    with zero *node* violations (QoS/coverage at the chosen operating
+    points, the replay-layer semantics); the queueing-tail columns are
+    reported alongside as the informational contention metric --
+    ``queue_violation_count`` in each summary says how much headroom
+    the winner left the M/M/1-M/G/1 tail model.
+    """
+    from repro.fleet import Autoscaler, CostModel, FleetSimulator
+    from repro.fleet.routing import ROUTERS
+    from repro.dvfs import load_trace_by_name
+
+    if spec.load_trace is None or spec.fleet_size is None:
+        raise ValueError(
+            f"scenario {spec.name!r}: the fleet_replay analysis needs "
+            "load_trace and fleet_size to be set"
+        )
+    trace = load_trace_by_name(spec.load_trace)
+    routing_names = spec.fleet_routings or tuple(ROUTERS)
+    autoscaler = Autoscaler() if spec.fleet_autoscale else None
+    cost_model = CostModel()
+
+    summaries: Dict[str, dict] = {}
+    economics: Dict[str, dict] = {}
+    steps: Dict[str, dict] = {}
+    best: Dict[str, object] = {}
+    for name, workload in spec.workloads().items():
+        simulator = FleetSimulator(
+            context,
+            workload,
+            fleet_size=spec.fleet_size,
+            governor=spec.fleet_governor,
+            autoscaler=autoscaler,
+            frequencies=spec.frequency_grid_hz,
+        )
+        results = simulator.compare(trace, routing_names)
+        summaries[name] = {
+            routing: result.summary() for routing, result in results.items()
+        }
+        economics[name] = {
+            routing: cost_model.rollup(result)
+            for routing, result in results.items()
+        }
+        steps[name] = {
+            routing: result.to_dicts() for routing, result in results.items()
+        }
+        clean = {
+            routing: result
+            for routing, result in results.items()
+            if result.violation_count == 0
+        }
+        best[name] = (
+            min(clean, key=lambda routing: clean[routing].total_energy_j)
+            if clean
+            else None
+        )
+    return {
+        "trace": trace.summary(),
+        "fleet_size": spec.fleet_size,
+        "governor": spec.fleet_governor,
+        "autoscaled": spec.fleet_autoscale,
+        "routings": list(routing_names),
+        "replays": summaries,
+        "economics": economics,
+        "best_routing_at_zero_violations": best,
+        "_steps": steps,
+    }
+
+
 ANALYSES: Dict[str, AnalysisFn] = {
     "qos_floors": qos_floors,
     "efficiency_optima": efficiency_optima,
@@ -243,5 +327,6 @@ ANALYSES: Dict[str, AnalysisFn] = {
     "memory_technology": memory_technology,
     "consolidation": consolidation,
     "dvfs_replay": dvfs_replay,
+    "fleet_replay": fleet_replay,
 }
 """Registry of derived analyses, keyed by the name specs declare."""

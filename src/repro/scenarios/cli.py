@@ -107,6 +107,56 @@ def _render_replay_steps(extras: dict) -> List[str]:
     return lines
 
 
+def _render_fleet_steps(extras: dict) -> List[str]:
+    """Per-step fleet tables of a ``fleet_replay`` analysis."""
+    from repro.utils.tables import format_table
+
+    steps = extras.get("fleet_replay", {}).get("_steps", {})
+    lines: List[str] = []
+    for workload, by_routing in steps.items():
+        for routing, rows in by_routing.items():
+            lines.append("")
+            lines.append(f"fleet: {workload} under {routing}")
+            lines.append(
+                format_table(
+                    (
+                        "step",
+                        "t (s)",
+                        "util",
+                        "on",
+                        "serving",
+                        "used",
+                        "P (W)",
+                        "E (J)",
+                        "tail (ms)",
+                        "QoS",
+                    ),
+                    [
+                        (
+                            row["step"],
+                            f"{row['time_s']:.0f}",
+                            f"{row['utilization']:.2f}",
+                            row["active_servers"],
+                            row["serving_servers"],
+                            row["used_servers"],
+                            f"{row['total_power_w']:.1f}",
+                            f"{row['energy_j']:.0f}",
+                            (
+                                "-"
+                                if row["tail_latency_s"] is None
+                                else "sat"
+                                if row["tail_latency_s"] == "saturated"
+                                else f"{row['tail_latency_s'] * 1e3:.1f}"
+                            ),
+                            "violated" if row["violation"] else "ok",
+                        )
+                        for row in rows
+                    ],
+                )
+            )
+    return lines
+
+
 def _render_table(result: ScenarioResult) -> str:
     from repro.core.report import render_summary
 
@@ -123,6 +173,7 @@ def _render_table(result: ScenarioResult) -> str:
         lines.append("analyses: " + ", ".join(result.extras))
         lines.append(json.dumps(_public_tree(result.extras), indent=2, sort_keys=True))
         lines.extend(_render_replay_steps(result.extras))
+        lines.extend(_render_fleet_steps(result.extras))
     return "\n".join(lines)
 
 

@@ -211,6 +211,56 @@ def _builtin_specs() -> List[ScenarioSpec]:
             ),
         ),
         ScenarioSpec(
+            name="fleet_diurnal_websearch",
+            title="8-server Web Search fleet riding a diurnal day (beyond the paper)",
+            workload_set=SCALE_OUT,
+            workload_names=("Web Search",),
+            load_trace="diurnal",
+            fleet_size=8,
+            analyses=("fleet_replay", "qos_floors"),
+            notes=(
+                "Datacenter extension of the governor replay: one day of "
+                "diurnal load shared by eight near-threshold servers under "
+                "all four routing policies with per-server qos_tracker "
+                "governors and the autoscaler parking the night trough; "
+                "pack+autoscale should beat the oblivious round_robin on "
+                "energy per request at zero violations."
+            ),
+        ),
+        ScenarioSpec(
+            name="fleet_bursty_dataserving",
+            title="6-server Data Serving fleet under bursty flash-crowd load",
+            workload_set=SCALE_OUT,
+            workload_names=("Data Serving",),
+            load_trace="bursty",
+            fleet_size=6,
+            analyses=("fleet_replay",),
+            notes=(
+                "Wake-latency stress: two hours of two-state Markov load "
+                "in one-minute steps; burst fronts land while woken "
+                "servers are still booting, so the oblivious round_robin "
+                "pays dropped-load violations the state-aware policies "
+                "avoid."
+            ),
+        ),
+        ScenarioSpec(
+            name="fleet_bitbrains_consolidation",
+            title="12-server VM consolidation fleet on the Bitbrains replay",
+            workload_set=VIRTUALIZED,
+            load_trace="bitbrains",
+            degradation_bound=4.0,
+            fleet_size=12,
+            fleet_routings=("round_robin", "pack", "spread"),
+            analyses=("fleet_replay", "qos_floors"),
+            notes=(
+                "Cluster-level consolidation economics: one day of "
+                "Bitbrains-derived utilisation over twelve servers "
+                "hosting the banking VM classes under the relaxed 4x "
+                "degradation bound; the cost model ranks routings by "
+                "dollars per unit of served work."
+            ),
+        ),
+        ScenarioSpec(
             name="colocation_mixed",
             title="Mixed scale-out + VM colocation sweep (beyond the paper)",
             workload_set=ALL_WORKLOADS,

@@ -99,11 +99,25 @@ class ScenarioSpec:
     load_trace:
         Optional named time-varying load trace from
         :data:`repro.dvfs.trace.LOAD_TRACES`; required by (and only
-        meaningful with) the ``dvfs_replay`` analysis.
+        meaningful with) the ``dvfs_replay`` and ``fleet_replay``
+        analyses.
     governors:
         Governor policy names from :data:`repro.dvfs.governors.GOVERNORS`
         for the ``dvfs_replay`` analysis; empty means every registered
         governor.
+    fleet_size:
+        Number of servers for the ``fleet_replay`` analysis (required
+        by it; must be >= 1 when set).
+    fleet_routings:
+        Routing-policy names from :data:`repro.fleet.routing.ROUTERS`
+        for the ``fleet_replay`` analysis; empty means every registered
+        policy.
+    fleet_governor:
+        The per-server DVFS policy every fleet node runs.
+    fleet_autoscale:
+        Whether the fleet replay scales servers on/off against the
+        default :class:`~repro.fleet.autoscaler.Autoscaler` band
+        (``False`` keeps the whole fleet awake).
     analyses:
         Names of derived analyses (see
         :data:`repro.scenarios.analyses.ANALYSES`) computed from the
@@ -132,6 +146,10 @@ class ScenarioSpec:
     efficiency_scope: str = EfficiencyScope.SERVER.value
     load_trace: str | None = None
     governors: Tuple[str, ...] = ()
+    fleet_size: int | None = None
+    fleet_routings: Tuple[str, ...] = ()
+    fleet_governor: str = "qos_tracker"
+    fleet_autoscale: bool = True
     analyses: Tuple[str, ...] = ()
     base_configuration: ServerConfiguration | None = None
     notes: str = ""
@@ -242,6 +260,33 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: governors contains duplicates: "
                 f"{self.governors}"
             )
+        # Fleet knobs are validated against the repro.fleet registries;
+        # imported here to keep module import order acyclic.
+        from repro.fleet.routing import ROUTERS
+
+        if self.fleet_size is not None and self.fleet_size < 1:
+            raise ValueError(
+                f"scenario {self.name!r}: fleet_size must be >= 1, "
+                f"got {self.fleet_size}"
+            )
+        unknown_routings = [r for r in self.fleet_routings if r not in ROUTERS]
+        if unknown_routings:
+            known = ", ".join(ROUTERS)
+            raise ValueError(
+                f"scenario {self.name!r}: unknown fleet routings "
+                f"{unknown_routings}; known policies: {known}"
+            )
+        if len(set(self.fleet_routings)) != len(self.fleet_routings):
+            raise ValueError(
+                f"scenario {self.name!r}: fleet_routings contains "
+                f"duplicates: {self.fleet_routings}"
+            )
+        if self.fleet_governor not in GOVERNORS:
+            known = ", ".join(GOVERNORS)
+            raise ValueError(
+                f"scenario {self.name!r}: unknown fleet governor "
+                f"{self.fleet_governor!r}; known governors: {known}"
+            )
         # Analysis names are validated against the analysis registry;
         # imported here to keep module import order acyclic.
         from repro.scenarios.analyses import ANALYSES
@@ -258,6 +303,17 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: the dvfs_replay analysis needs "
                 "load_trace to be set"
             )
+        if "fleet_replay" in self.analyses:
+            if self.load_trace is None:
+                raise ValueError(
+                    f"scenario {self.name!r}: the fleet_replay analysis "
+                    "needs load_trace to be set"
+                )
+            if self.fleet_size is None:
+                raise ValueError(
+                    f"scenario {self.name!r}: the fleet_replay analysis "
+                    "needs fleet_size to be set"
+                )
 
     # -- resolution -----------------------------------------------------------------
 

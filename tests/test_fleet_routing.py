@@ -1,0 +1,172 @@
+"""Tests for the fleet routing policies."""
+
+import pytest
+
+from repro.fleet import (
+    ROUTERS,
+    LeastLoadedRouting,
+    NodeView,
+    PackRouting,
+    RoundRobinRouting,
+    SpreadRouting,
+    router_by_name,
+)
+
+CAP = 1.0e10
+
+
+def make_view(node_id, serving=True, booting=False, previous_capacity=CAP):
+    return NodeView(
+        node_id=node_id,
+        serving=serving,
+        booting=booting,
+        nominal_capacity_uips=CAP,
+        previous_capacity_uips=previous_capacity,
+    )
+
+
+def fleet(*states):
+    """Node views from state letters: s=serving, b=booting, o=off."""
+    return [
+        make_view(i, serving=state == "s", booting=state == "b")
+        for i, state in enumerate(states)
+    ]
+
+
+# -- registry ---------------------------------------------------------------------------
+
+
+def test_registry_order_and_names():
+    assert list(ROUTERS) == ["round_robin", "least_loaded", "pack", "spread"]
+    for name in ROUTERS:
+        assert router_by_name(name).name == name
+
+
+def test_unknown_routing_lists_known_ones():
+    with pytest.raises(ValueError, match="unknown routing policy 'random'") as error:
+        router_by_name("random")
+    for known in ROUTERS:
+        assert known in str(error.value)
+
+
+# -- conservation (every policy) --------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", list(ROUTERS))
+@pytest.mark.parametrize("mass", [0.0, 0.4, 1.7, 3.0])
+def test_every_policy_conserves_mass(name, mass):
+    nodes = fleet("s", "s", "s", "o")
+    shares = router_by_name(name).assign(mass, nodes)
+    assert len(shares) == len(nodes)
+    assert sum(shares) == pytest.approx(mass, abs=1e-12)
+    assert all(share >= 0.0 for share in shares)
+    assert shares[3] == 0.0  # off nodes never receive load
+
+
+# -- round robin ------------------------------------------------------------------------
+
+
+def test_round_robin_splits_evenly_over_active_nodes():
+    shares = RoundRobinRouting().assign(1.2, fleet("s", "s", "s"))
+    assert shares == (pytest.approx(0.4), pytest.approx(0.4), pytest.approx(0.4))
+
+
+def test_round_robin_is_oblivious_to_booting():
+    # The DNS-style baseline routes to powered-on nodes whether or not
+    # they can serve yet; the booting node's share is lost load.
+    shares = RoundRobinRouting().assign(0.9, fleet("s", "s", "b"))
+    assert shares == (0.3, 0.3, 0.3)
+
+
+# -- least loaded -----------------------------------------------------------------------
+
+
+def test_least_loaded_weights_by_previous_capacity():
+    nodes = [
+        make_view(0, previous_capacity=0.25 * CAP),
+        make_view(1, previous_capacity=0.75 * CAP),
+    ]
+    shares = LeastLoadedRouting().assign(1.0, nodes)
+    assert shares[0] == pytest.approx(0.25)
+    assert shares[1] == pytest.approx(0.75)
+
+
+def test_least_loaded_skips_booting_nodes():
+    shares = LeastLoadedRouting().assign(1.0, fleet("s", "b", "s"))
+    assert shares[1] == 0.0
+    assert shares[0] == shares[2] == pytest.approx(0.5)
+
+
+def test_least_loaded_even_split_on_degenerate_previous_capacity():
+    nodes = [
+        make_view(0, previous_capacity=0.0),
+        make_view(1, previous_capacity=0.0),
+    ]
+    shares = LeastLoadedRouting().assign(0.8, nodes)
+    assert shares == (0.4, 0.4)
+
+
+# -- pack -------------------------------------------------------------------------------
+
+
+def test_pack_fills_in_index_order():
+    shares = PackRouting(fill_fraction=0.5).assign(1.2, fleet("s", "s", "s", "s"))
+    assert shares[0] == pytest.approx(0.5)
+    assert shares[1] == pytest.approx(0.5)
+    assert shares[2] == pytest.approx(0.2)
+    assert shares[3] == 0.0
+
+
+def test_pack_distributes_overflow_beyond_fill_evenly():
+    shares = PackRouting(fill_fraction=0.75).assign(2.0, fleet("s", "s"))
+    # 0.75 + 0.75 packed, 0.5 overflow split evenly.
+    assert shares[0] == pytest.approx(1.0)
+    assert shares[1] == pytest.approx(1.0)
+
+
+def test_pack_skips_booting_and_off_nodes():
+    shares = PackRouting(fill_fraction=0.75).assign(0.6, fleet("b", "s", "o"))
+    assert shares == (0.0, 0.6, 0.0)
+
+
+@pytest.mark.parametrize("fill", [0.0, -0.1, 1.5])
+def test_pack_rejects_bad_fill_fraction(fill):
+    with pytest.raises(ValueError):
+        PackRouting(fill_fraction=fill)
+
+
+# -- spread -----------------------------------------------------------------------------
+
+
+def test_spread_splits_evenly_over_serving_nodes_only():
+    shares = SpreadRouting().assign(0.9, fleet("s", "b", "s"))
+    assert shares == (0.45, 0.0, 0.45)
+
+
+def test_pack_never_uses_more_nodes_than_spread():
+    nodes = fleet("s", "s", "s", "s", "s")
+    pack, spread = PackRouting(), SpreadRouting()
+    for mass in (0.1, 0.5, 1.0, 2.2, 3.75, 5.0):
+        packed = pack.assign(mass, nodes)
+        spread_shares = spread.assign(mass, nodes)
+        assert sum(packed) == pytest.approx(sum(spread_shares))
+        used_pack = sum(1 for share in packed if share > 0)
+        used_spread = sum(1 for share in spread_shares if share > 0)
+        assert used_pack <= used_spread
+
+
+# -- degenerate fleets ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", list(ROUTERS))
+def test_all_booting_falls_back_to_active_nodes(name):
+    # Load must go somewhere; with no serving node the active set is
+    # the only honest target (round_robin lands there anyway).
+    shares = router_by_name(name).assign(1.0, fleet("b", "b"))
+    assert sum(shares) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("name", list(ROUTERS))
+def test_no_active_node_is_an_error(name):
+    with pytest.raises(ValueError, match="no active node"):
+        router_by_name(name).assign(1.0, fleet("o", "o"))

@@ -62,6 +62,118 @@ def test_mg1_max_stable_arrival_rate():
     assert queue.max_stable_arrival_rate(0.05) == pytest.approx(95.0)
 
 
+# -- M/G/1 two-moment (Marchal-style) tail correction -----------------------------------
+
+
+def test_corrected_percentile_defaults_to_current_behaviour():
+    queue = MG1Queue(arrival_rate=40.0, mean_service_time=0.01, service_time_cv=2.0)
+    import math
+
+    expected = -math.log(0.01) * queue.mean_response_time
+    assert queue.response_time_percentile(99.0) == pytest.approx(expected)
+    assert queue.response_time_percentile(
+        99.0, corrected=False
+    ) == pytest.approx(expected)
+
+
+def test_corrected_percentile_approaches_exact_mm1_at_heavy_load():
+    # For CV=1 the corrected approximation converges to the exact
+    # M/M/1 percentile as rho -> 1.
+    mm1 = MM1Queue(arrival_rate=95.0, service_rate=100.0)
+    mg1 = MG1Queue(arrival_rate=95.0, mean_service_time=0.01, service_time_cv=1.0)
+    exact = mm1.response_time_percentile(99.0)
+    corrected = mg1.response_time_percentile(99.0, corrected=True)
+    assert corrected == pytest.approx(exact, rel=2e-3)
+
+
+def test_corrected_tail_is_heavier_for_high_cv_services():
+    # The uncorrected tail only sees the CV through the P-K mean; the
+    # corrected one scales the tail itself, so a bursty (CV=3) service
+    # at heavy load gets a strictly heavier 99th percentile.
+    queue = MG1Queue(arrival_rate=90.0, mean_service_time=0.01, service_time_cv=3.0)
+    assert queue.response_time_percentile(
+        99.0, corrected=True
+    ) > queue.response_time_percentile(99.0)
+
+
+def test_corrected_tail_is_lighter_for_smooth_light_load():
+    # At low utilisation most requests never wait (the 1 - rho idle
+    # atom), which the mean-fitted exponential cannot represent.
+    queue = MG1Queue(arrival_rate=30.0, mean_service_time=0.01, service_time_cv=0.3)
+    assert queue.response_time_percentile(
+        99.0, corrected=True
+    ) < queue.response_time_percentile(99.0)
+
+
+def test_corrected_percentile_inside_idle_atom_is_pure_service():
+    # rho = 0.2: more than 80% of requests find the server idle, so the
+    # 50th percentile is a no-wait service time.
+    queue = MG1Queue(arrival_rate=20.0, mean_service_time=0.01, service_time_cv=2.0)
+    assert queue.response_time_percentile(
+        50.0, corrected=True
+    ) == pytest.approx(queue.mean_service_time)
+
+
+def test_corrected_percentile_grows_with_cv_at_fixed_load():
+    percentiles = [
+        MG1Queue(
+            arrival_rate=80.0, mean_service_time=0.01, service_time_cv=cv
+        ).response_time_percentile(99.0, corrected=True)
+        for cv in (0.5, 1.0, 2.0, 4.0)
+    ]
+    assert percentiles == sorted(percentiles)
+    assert percentiles[-1] > 3.0 * percentiles[0]
+
+
+@pytest.mark.parametrize("percentile", [0.0, 100.0, -5.0, 120.0])
+def test_corrected_percentile_validates_range(percentile):
+    queue = MG1Queue(arrival_rate=40.0, mean_service_time=0.01)
+    with pytest.raises(ValueError, match="percentile"):
+        queue.response_time_percentile(percentile, corrected=True)
+
+
+# -- queueing edge coverage -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("margin", [-0.1, 1.0, 1.5])
+def test_max_stable_arrival_rate_rejects_bad_margins(margin):
+    queue = MG1Queue(arrival_rate=10.0, mean_service_time=0.01)
+    with pytest.raises(ValueError, match="safety_margin"):
+        queue.max_stable_arrival_rate(margin)
+
+
+def test_max_stable_arrival_rate_margin_bounds():
+    queue = MG1Queue(arrival_rate=10.0, mean_service_time=0.01)
+    # Zero margin is the stability boundary itself ...
+    assert queue.max_stable_arrival_rate(0.0) == pytest.approx(100.0)
+    # ... and any positive margin admits a constructible stable queue.
+    for margin in (0.01, 0.5, 0.99):
+        rate = queue.max_stable_arrival_rate(margin)
+        stable = MG1Queue(arrival_rate=rate, mean_service_time=0.01)
+        assert stable.utilization == pytest.approx(1.0 - margin)
+        assert stable.utilization < 1.0
+
+
+def test_mm1_near_saturation_blows_up_monotonically():
+    responses = [
+        MM1Queue(arrival_rate=rho * 100.0, service_rate=100.0).mean_response_time
+        for rho in (0.99, 0.999, 0.9999)
+    ]
+    assert responses == sorted(responses)
+    # 1 / (mu - lambda): at rho = 0.9999 the mean response is 10^4
+    # service times -- finite, but four orders above the unloaded value.
+    assert responses[-1] == pytest.approx(100.0, rel=1e-6)
+    percentile = MM1Queue(
+        arrival_rate=99.99, service_rate=100.0
+    ).response_time_percentile(99.0)
+    assert percentile > responses[-1]
+
+
+def test_mm1_rejects_saturation_exactly_at_capacity():
+    with pytest.raises(ValueError, match="unstable"):
+        MM1Queue(arrival_rate=100.0 + 1e-9, service_rate=100.0)
+
+
 @given(st.floats(min_value=0.01, max_value=0.95))
 def test_mm1_response_grows_with_utilization(rho):
     base = MM1Queue(arrival_rate=rho * 100.0, service_rate=100.0)

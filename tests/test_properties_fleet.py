@@ -1,0 +1,176 @@
+"""Property tests over the fleet simulation layer.
+
+The three invariants the tentpole locks down:
+
+* a 1-server always-on fleet reproduces the single-server
+  :class:`GovernorSimulator` replay **bit for bit** -- same frequency,
+  power, energy, served-work and violation columns -- for every
+  routing policy and governor (the fleet layer adds structure, never
+  drift);
+* the fleet energy ledger is exact: the fleet ``energy_j`` column is,
+  step by step, the sum of the per-node columns, wake penalties and
+  idle draws included;
+* ``pack`` never uses more servers than ``spread`` at equal served
+  load (consolidation dominates balancing on server count, always).
+
+Traces are hypothesis-sampled; the fleets run on the shared session
+context, so the many examples reuse one set of memoized operating
+points.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dvfs import GOVERNORS, LoadTrace
+from repro.fleet import ROUTERS, Autoscaler, FleetSimulator
+from repro.workloads.cloudsuite import WEB_SEARCH
+
+utilizations = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=16,
+)
+
+# The node columns that must match the single-server replay exactly.
+_REPLAY_COLUMNS = (
+    "frequency_hz",
+    "power_w",
+    "energy_j",
+    "demand_uips",
+    "capacity_uips",
+    "served_uips",
+    "qos_metric",
+    "qos_ok",
+    "demand_met",
+    "violation",
+)
+
+
+def make_trace(values, step_seconds=60.0) -> LoadTrace:
+    return LoadTrace(
+        name="sampled", step_seconds=step_seconds, utilization=tuple(values)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=utilizations, governor=st.sampled_from(sorted(GOVERNORS)))
+def test_one_server_fleet_is_bit_identical_to_replay(
+    values, governor, default_context, websearch_simulator
+):
+    trace = make_trace(values)
+    replay = websearch_simulator.replay(trace, governor)
+    fleet = FleetSimulator(
+        default_context, WEB_SEARCH, fleet_size=1, governor=governor
+    )
+    # pack's fill threshold re-derives the share as fill + overflow for
+    # high loads, which is only float-identical below the threshold, so
+    # the bit-for-bit claim covers the exact-passthrough policies.
+    for routing in ("round_robin", "least_loaded", "spread"):
+        result = fleet.run(trace, routing)
+        for column in _REPLAY_COLUMNS:
+            np.testing.assert_array_equal(
+                result.node_column(0, column),
+                replay.column(column),
+                err_msg=f"{routing}/{governor}/{column}",
+            )
+        # The fleet-level ledger collapses to the node for N=1.
+        np.testing.assert_array_equal(
+            result.column("violation"), replay.column("violation")
+        )
+        np.testing.assert_array_equal(
+            result.column("energy_j"), replay.column("energy_j")
+        )
+        assert result.total_energy_j == replay.total_energy_j
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=utilizations)
+def test_pack_matches_replay_below_fill_threshold(
+    values, default_context, websearch_simulator
+):
+    # Below the fill threshold pack is an exact passthrough too.
+    trace = make_trace([0.7 * value for value in values])
+    replay = websearch_simulator.replay(trace, "qos_tracker")
+    result = FleetSimulator(default_context, WEB_SEARCH, fleet_size=1).run(
+        trace, "pack"
+    )
+    for column in _REPLAY_COLUMNS:
+        np.testing.assert_array_equal(
+            result.node_column(0, column), replay.column(column), err_msg=column
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    values=utilizations,
+    fleet_size=st.integers(min_value=2, max_value=6),
+    routing=st.sampled_from(sorted(ROUTERS)),
+    autoscaled=st.booleans(),
+)
+def test_fleet_energy_equals_sum_of_node_energies(
+    values, fleet_size, routing, autoscaled, default_context
+):
+    trace = make_trace(values)
+    simulator = FleetSimulator(
+        default_context,
+        WEB_SEARCH,
+        fleet_size=fleet_size,
+        autoscaler=Autoscaler() if autoscaled else None,
+        off_power_w=7.5,
+    )
+    result = simulator.run(trace, routing)
+    # Exact, step by step: node energies (wake penalties included) are
+    # accumulated in node order, which is how the fleet column is built.
+    total = sum(
+        result.node_column(node_id, "energy_j") for node_id in result.node_ids
+    )
+    np.testing.assert_array_equal(result.column("energy_j"), total)
+    assert result.total_energy_j == pytest.approx(
+        sum(result.node_energy_j(node_id) for node_id in result.node_ids),
+        rel=1e-12,
+    )
+    # Power books the same ledger: energy is power times the step length
+    # plus the one-shot wake penalties.
+    expected = result.column("total_power_w") * trace.step_seconds
+    if autoscaled:
+        expected = expected + (
+            result.column("wake_events") * simulator.autoscaler.wake_energy_j
+        )
+    np.testing.assert_allclose(expected, result.column("energy_j"), rtol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=utilizations, fleet_size=st.integers(min_value=2, max_value=8))
+def test_pack_never_uses_more_servers_than_spread(
+    values, fleet_size, default_context
+):
+    trace = make_trace(values)
+    simulator = FleetSimulator(default_context, WEB_SEARCH, fleet_size=fleet_size)
+    packed = simulator.run(trace, "pack")
+    spread = simulator.run(trace, "spread")
+    # Equal served load, step by step ...
+    np.testing.assert_allclose(
+        packed.column("served_uips"), spread.column("served_uips"), rtol=1e-9
+    )
+    # ... with pack never touching more servers than spread.
+    assert np.all(
+        packed.column("used_servers") <= spread.column("used_servers")
+    )
+    assert packed.mean_used_servers <= spread.mean_used_servers
+
+
+@settings(max_examples=10, deadline=None)
+@given(values=utilizations)
+def test_fleet_replay_is_deterministic(values, default_context):
+    trace = make_trace(values)
+    simulator = FleetSimulator(
+        default_context, WEB_SEARCH, fleet_size=3, autoscaler=Autoscaler()
+    )
+    first = simulator.run(trace, "pack")
+    second = simulator.run(trace, "pack")
+    for column in ("energy_j", "serving_servers", "tail_latency_s", "violation"):
+        np.testing.assert_array_equal(
+            first.column(column), second.column(column), err_msg=column
+        )

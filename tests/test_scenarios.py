@@ -251,6 +251,52 @@ def test_cli_run_rejects_bad_usage(capsys, tmp_path):
     assert cli_main(["run", "no_such"]) == 2
 
 
+def test_cli_run_all_runs_every_registered_scenario(tmp_path, capsys):
+    # A small private registry keeps --all fast while still proving it
+    # hits every registered scenario exactly once.
+    from repro.scenarios import ScenarioRegistry
+
+    registry = ScenarioRegistry()
+    for name in ("tiny_one", "tiny_two"):
+        registry.register(
+            ScenarioSpec(
+                name=name,
+                title=f"tiny scenario {name}",
+                workload_names=("Web Search",),
+                frequency_grid_hz=(mhz(1000), mhz(2000)),
+            )
+        )
+    assert (
+        cli_main(
+            ["run", "--all", "--format", "json", "--outdir", str(tmp_path)],
+            registry=registry,
+        )
+        == 0
+    )
+    written = sorted(path.stem for path in tmp_path.glob("*.json"))
+    assert written == ["tiny_one", "tiny_two"]
+    out = capsys.readouterr().out
+    assert "tiny_one.json" in out and "tiny_two.json" in out
+
+
+def test_cli_run_unknown_name_fails_and_lists_known_names(capsys):
+    assert cli_main(["run", "no_such_scenario"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario 'no_such_scenario'" in err
+    for name in scenario_names():
+        assert name in err
+
+
+def test_cli_run_unknown_name_among_valid_ones_still_fails(capsys, tmp_path):
+    # One bad name poisons the whole invocation (non-zero exit), even
+    # when other requested scenarios exist.
+    code = cli_main(
+        ["run", "table1_ddr4", "no_such", "--outdir", str(tmp_path)]
+    )
+    assert code == 2
+    assert "unknown scenario 'no_such'" in capsys.readouterr().err
+
+
 def test_cli_run_parallel_matches_serial(tmp_path):
     for flag, path in ((None, "serial.json"), ("--parallel", "parallel.json")):
         argv = ["run", "fig2_qos", "--format", "json", "--sweep"]
@@ -261,3 +307,66 @@ def test_cli_run_parallel_matches_serial(tmp_path):
     serial = json.loads((tmp_path / "serial.json").read_text())
     parallel = json.loads((tmp_path / "parallel.json").read_text())
     assert serial == parallel
+
+
+# -- fleet spec fields ------------------------------------------------------------------
+
+
+def _fleet_spec(**overrides):
+    fields = dict(
+        name="fleet_probe",
+        title="fleet validation probe",
+        workload_names=("Web Search",),
+        load_trace="diurnal",
+        fleet_size=4,
+        analyses=("fleet_replay",),
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+def test_fleet_spec_accepts_valid_fields():
+    spec = _fleet_spec(fleet_routings=("pack", "spread"), fleet_autoscale=False)
+    assert spec.fleet_size == 4
+    assert spec.fleet_governor == "qos_tracker"
+
+
+def test_fleet_spec_rejects_non_positive_fleet_size():
+    with pytest.raises(ValueError, match="fleet_size must be >= 1"):
+        _fleet_spec(fleet_size=0)
+
+
+def test_fleet_spec_rejects_unknown_routing():
+    with pytest.raises(ValueError, match="unknown fleet routings.*random"):
+        _fleet_spec(fleet_routings=("pack", "random"))
+
+
+def test_fleet_spec_rejects_duplicate_routings():
+    with pytest.raises(ValueError, match="duplicates"):
+        _fleet_spec(fleet_routings=("pack", "pack"))
+
+
+def test_fleet_spec_rejects_unknown_governor():
+    with pytest.raises(ValueError, match="unknown fleet governor"):
+        _fleet_spec(fleet_governor="turbo")
+
+
+def test_fleet_replay_analysis_requires_fleet_size():
+    with pytest.raises(ValueError, match="needs fleet_size"):
+        _fleet_spec(fleet_size=None)
+
+
+def test_fleet_replay_analysis_requires_load_trace():
+    with pytest.raises(ValueError, match="needs load_trace"):
+        _fleet_spec(load_trace=None)
+
+
+def test_fleet_scenarios_are_registered_with_goldens():
+    for name in (
+        "fleet_diurnal_websearch",
+        "fleet_bursty_dataserving",
+        "fleet_bitbrains_consolidation",
+    ):
+        spec = get_scenario(name)
+        assert "fleet_replay" in spec.analyses
+        assert spec.fleet_size is not None and spec.load_trace is not None
