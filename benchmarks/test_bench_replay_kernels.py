@@ -1,0 +1,155 @@
+"""Replay-kernel speedup: columnar tables vs the object step loop.
+
+Times the ``fleet_bitbrains_consolidation`` replay -- both banking VM
+classes over twelve autoscaled servers, all three of the scenario's
+routing policies, on the Bitbrains-derived day trace -- through the
+vectorized :mod:`repro.kernels` path and through the object-based
+``reference=`` loop, on the same warmed
+:class:`~repro.sweep.context.ModelContext` (model evaluations are
+memoized, so the measured work is purely the replay stepping).  The
+tentpole's acceptance bar: the kernel path is at least **5x** faster;
+the week-long single-server governor replay speedup is reported
+alongside.  Both paths are also cross-checked summary-for-summary --
+the speedup must not buy a single bit of drift.
+
+Emits a machine-readable ``BENCH_replay.json`` artifact (set
+``BENCH_REPLAY_JSON`` to redirect it) so CI can archive the perf
+trajectory.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.dvfs import GOVERNORS, GovernorSimulator, LoadTrace
+from repro.fleet import Autoscaler, FleetSimulator
+from repro.scenarios import REGISTRY
+from repro.sweep.context import ModelContext
+from repro.utils.tables import format_table
+
+SCENARIO = "fleet_bitbrains_consolidation"
+MIN_FLEET_SPEEDUP = 5.0
+_REPEATS = 5
+
+
+def _best_of(function, repeats=_REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_bench_replay_kernels(benchmark):
+    spec = REGISTRY.get(SCENARIO)
+    context = ModelContext(
+        spec.configuration(), degradation_bound=spec.degradation_bound
+    )
+    trace = LoadTrace.from_bitbrains()
+    simulators = {
+        name: FleetSimulator(
+            context,
+            workload,
+            fleet_size=spec.fleet_size,
+            governor=spec.fleet_governor,
+            autoscaler=Autoscaler() if spec.fleet_autoscale else None,
+        )
+        for name, workload in spec.workloads().items()
+    }
+    for simulator in simulators.values():
+        simulator._sim.table  # warm the frequency table ...
+        simulator._sim.platform  # ... and the reference platform view
+
+    def run_fleet(reference: bool) -> dict:
+        return {
+            name: simulator.compare(
+                trace, spec.fleet_routings, reference=reference
+            )
+            for name, simulator in simulators.items()
+        }
+
+    # Same day, same servers, same routings -- summary for summary.
+    kernel_results = run_fleet(reference=False)
+    reference_results = run_fleet(reference=True)
+    for name in simulators:
+        for routing in spec.fleet_routings:
+            assert (
+                kernel_results[name][routing].summary()
+                == reference_results[name][routing].summary()
+            ), f"kernel drift on {name}/{routing}"
+
+    benchmark(run_fleet, False)
+    fleet_kernel_s = _best_of(lambda: run_fleet(False))
+    fleet_reference_s = _best_of(lambda: run_fleet(True))
+    fleet_speedup = fleet_reference_s / fleet_kernel_s
+
+    # The week-long single-server governor replay, reported alongside.
+    governor_simulator = GovernorSimulator(
+        context, next(iter(spec.workloads().values()))
+    )
+    week = LoadTrace.from_bitbrains(steps=2016, seed=77)
+
+    def run_governors(reference: bool) -> None:
+        for governor in GOVERNORS:
+            governor_simulator.replay(week, governor, reference=reference)
+
+    dvfs_kernel_s = _best_of(lambda: run_governors(False))
+    dvfs_reference_s = _best_of(lambda: run_governors(True))
+    dvfs_speedup = dvfs_reference_s / dvfs_kernel_s
+
+    print()
+    print(f"Replay kernels vs reference loops ({SCENARIO} + week-long dvfs)")
+    print(
+        format_table(
+            ("replay", "kernel (ms)", "reference (ms)", "speedup"),
+            [
+                (
+                    f"fleet {SCENARIO}",
+                    f"{fleet_kernel_s * 1e3:.1f}",
+                    f"{fleet_reference_s * 1e3:.1f}",
+                    f"{fleet_speedup:.1f}x",
+                ),
+                (
+                    "dvfs governors, 2016-step week",
+                    f"{dvfs_kernel_s * 1e3:.1f}",
+                    f"{dvfs_reference_s * 1e3:.1f}",
+                    f"{dvfs_speedup:.1f}x",
+                ),
+            ],
+        )
+    )
+
+    artifact = {
+        "benchmark": "replay_kernels",
+        "scenario": SCENARIO,
+        "fleet_size": spec.fleet_size,
+        "routings": list(spec.fleet_routings),
+        "trace": trace.summary(),
+        "fleet": {
+            "kernel_s": fleet_kernel_s,
+            "reference_s": fleet_reference_s,
+            "speedup": fleet_speedup,
+            "min_speedup": MIN_FLEET_SPEEDUP,
+        },
+        "dvfs": {
+            "steps": len(week),
+            "governors": list(GOVERNORS),
+            "kernel_s": dvfs_kernel_s,
+            "reference_s": dvfs_reference_s,
+            "speedup": dvfs_speedup,
+        },
+    }
+    out_path = Path(os.environ.get("BENCH_REPLAY_JSON", "BENCH_replay.json"))
+    out_path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {out_path} (fleet {fleet_speedup:.1f}x, "
+        f"dvfs {dvfs_speedup:.1f}x)"
+    )
+
+    # The acceptance bar: >= 5x on the fleet Bitbrains replay.
+    assert fleet_speedup >= MIN_FLEET_SPEEDUP, (
+        f"kernel path is only {fleet_speedup:.1f}x faster than the "
+        f"reference loop (need >= {MIN_FLEET_SPEEDUP}x)"
+    )

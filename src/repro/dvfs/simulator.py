@@ -110,12 +110,47 @@ class GovernorSimulator:
                 f"{self.platform.frequencies}"
             ) from None
 
+    @property
+    def table(self):
+        """The kernels' frozen frequency table (context-memoized)."""
+        return self.context.frequency_table(
+            self.workload, frequencies=self.frequencies
+        )
+
     # -- replay -------------------------------------------------------------------------
 
-    def replay(self, trace: LoadTrace, governor: Governor | str) -> ReplayResult:
-        """Run one governor over one trace, one row per step."""
+    def replay(
+        self,
+        trace: LoadTrace,
+        governor: Governor | str,
+        reference: bool = False,
+    ) -> ReplayResult:
+        """Run one governor over one trace, one row per step.
+
+        Dispatches to the vectorized :mod:`repro.kernels` path whenever
+        the governor's exact type has a kernel; ``reference=True``
+        forces the original object-based step loop (the two paths are
+        bit-for-bit identical -- the kernel equivalence tests pin it).
+        Governors without a kernel (custom subclasses) always take the
+        reference path.
+        """
         if isinstance(governor, str):
             governor = governor_by_name(governor)
+        if not reference:
+            from repro.kernels.governors import has_kernel
+            from repro.kernels.replay import governor_replay_columns
+
+            if has_kernel(governor):
+                return ReplayResult(
+                    governor_name=governor.name,
+                    workload_name=self.workload.name,
+                    trace_name=trace.name,
+                    step_seconds=trace.step_seconds,
+                    instructions_per_request=(
+                        self.workload.instructions_per_request
+                    ),
+                    columns=governor_replay_columns(self.table, governor, trace),
+                )
         platform = self.platform
         nominal_capacity = platform.nominal_capacity_uips
 
@@ -186,6 +221,7 @@ class GovernorSimulator:
         self,
         trace: LoadTrace,
         governors: Iterable[Governor | str] | None = None,
+        reference: bool = False,
     ) -> Dict[str, ReplayResult]:
         """Replay several governors on the same trace, keyed by name.
 
@@ -195,7 +231,7 @@ class GovernorSimulator:
         chosen = list(governors) if governors is not None else list(GOVERNORS)
         results: Dict[str, ReplayResult] = {}
         for governor in chosen:
-            result = self.replay(trace, governor)
+            result = self.replay(trace, governor, reference=reference)
             if result.governor_name in results:
                 raise ValueError(
                     f"duplicate governor {result.governor_name!r} in comparison"

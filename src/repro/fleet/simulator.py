@@ -101,6 +101,9 @@ class FleetSimulator:
         self._sim = GovernorSimulator(
             self.context, self.workload, frequencies=self.frequencies
         )
+        # Queueing-tail memo shared across routings and repeated runs;
+        # keyed by (grid index, demand), pure values, so reuse is safe.
+        self._tail_cache: Dict = {}
 
     # -- construction ------------------------------------------------------------------
 
@@ -172,8 +175,21 @@ class FleetSimulator:
 
     # -- replay ------------------------------------------------------------------------
 
-    def run(self, trace: LoadTrace, routing: RoutingPolicy | str) -> FleetResult:
-        """Run one routing policy over one trace, one fleet row per step."""
+    def run(
+        self,
+        trace: LoadTrace,
+        routing: RoutingPolicy | str,
+        reference: bool = False,
+    ) -> FleetResult:
+        """Run one routing policy over one trace, one fleet row per step.
+
+        Dispatches to the columnar :mod:`repro.kernels.fleet` stepper
+        whenever the (routing, governor, autoscaler) trio's exact types
+        have kernels; ``reference=True`` forces the original per-node
+        object loop (the two paths are bit-for-bit identical -- the
+        kernel equivalence tests pin it).  Custom policy subclasses
+        always take the reference path.
+        """
         if isinstance(routing, str):
             routing = router_by_name(routing)
         steps = len(trace)
@@ -182,6 +198,37 @@ class FleetSimulator:
             and self.workload.is_scale_out
             and self.workload.instructions_per_request > 0
         )
+        if not reference:
+            from repro.kernels import fleet as fleet_kernel
+
+            governor = self._make_governor()
+            if fleet_kernel.supports(routing, governor, self.autoscaler):
+                fleet_columns, node_columns = fleet_kernel.fleet_replay_columns(
+                    table=self._sim.table,
+                    workload=self.workload,
+                    fleet_size=self.fleet_size,
+                    governor=governor,
+                    routing=routing,
+                    autoscaler=self.autoscaler,
+                    off_power_w=self.off_power_w,
+                    trace=trace,
+                    use_queueing=use_queueing,
+                    tail_cache=self._tail_cache,
+                )
+                return FleetResult(
+                    routing_name=routing.name,
+                    governor_name=self.governor_name,
+                    workload_name=self.workload.name,
+                    trace_name=trace.name,
+                    fleet_size=self.fleet_size,
+                    step_seconds=trace.step_seconds,
+                    instructions_per_request=(
+                        self.workload.instructions_per_request
+                    ),
+                    autoscaled=self.autoscaler is not None,
+                    columns=fleet_columns,
+                    node_columns=node_columns,
+                )
         qos_limit = self.workload.qos_limit_seconds
 
         nodes = self._make_nodes(
@@ -329,6 +376,7 @@ class FleetSimulator:
         self,
         trace: LoadTrace,
         routings: Iterable[RoutingPolicy | str] | None = None,
+        reference: bool = False,
     ) -> Dict[str, FleetResult]:
         """Run several routing policies on the same trace, keyed by name.
 
@@ -340,7 +388,7 @@ class FleetSimulator:
         chosen = list(routings) if routings is not None else list(ROUTERS)
         results: Dict[str, FleetResult] = {}
         for routing in chosen:
-            result = self.run(trace, routing)
+            result = self.run(trace, routing, reference=reference)
             if result.routing_name in results:
                 raise ValueError(
                     f"duplicate routing {result.routing_name!r} in comparison"

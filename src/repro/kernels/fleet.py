@@ -1,0 +1,524 @@
+"""Columnar fleet stepper: per-node state arrays instead of objects.
+
+The object-based :class:`~repro.fleet.simulator.FleetSimulator` loop
+creates one :class:`~repro.fleet.node.NodeStep` per (node, step) and
+writes eleven column scalars each -- the hot path the ISSUE's profile
+blames.  This kernel replaces it with per-node state *arrays* updated
+in bulk:
+
+1. **State timeline** -- the autoscaler's power-state machine (off /
+   booting / serving, boot countdowns, wake events) depends only on the
+   offered-mass sequence, never on routing or governor choices, so it
+   is resolved once per replay in a tight scalar pass.
+2. **Routing** -- ``round_robin`` and ``spread`` become whole-trace
+   mask-and-divide expressions; ``pack``'s sequential fill keeps a
+   scalar loop per step (its spill arithmetic is order-dependent);
+   ``least_loaded`` couples to the previous step's frequencies and runs
+   inside the sequential selection loop.
+3. **Governor selection** -- memoryless policies select every
+   (serving node, step) pair in one batched kernel call; the stateful
+   ``conservative`` (and any policy under ``least_loaded``) advances
+   all nodes one step at a time, vectorized across the fleet.
+4. **Columns** -- every per-node and fleet-level column is a gather or
+   reduction over the ``(fleet_size, steps)`` arrays; fleet sums
+   accumulate node-by-node in ascending id order, reproducing the
+   reference loop's float-addition order bit for bit.
+
+Queueing tails reuse the exact scalar
+:class:`~repro.latency.queueing.MM1Queue` / :class:`MG1Queue` math the
+reference path calls, memoized by (grid index, demand) in a cache the
+simulator shares across routing policies.
+
+Dispatch is by exact type (routing, governor, autoscaler): any subclass
+with overridden behaviour falls back to the object-based reference
+path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dvfs.governors import Governor
+from repro.dvfs.trace import LoadTrace
+from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.node import NodeState
+from repro.fleet.routing import (
+    LeastLoadedRouting,
+    PackRouting,
+    RoundRobinRouting,
+    RoutingPolicy,
+    SpreadRouting,
+)
+from repro.kernels.governors import (
+    has_kernel,
+    is_memoryless_kernel,
+    select_step_indices,
+)
+from repro.kernels.table import FrequencyTable
+from repro.latency.queueing import MG1Queue, MM1Queue
+from repro.workloads.base import WorkloadCharacteristics
+
+_OFF = int(NodeState.OFF)
+_BOOTING = int(NodeState.BOOTING)
+_SERVING = int(NodeState.SERVING)
+
+_STABILITY_EPSILON = 1e-9
+"""Utilisations within this of 1.0 count as a saturated queue
+(mirrors :data:`repro.fleet.simulator._STABILITY_EPSILON`)."""
+
+ROUTING_KERNEL_TYPES = frozenset(
+    (RoundRobinRouting, LeastLoadedRouting, PackRouting, SpreadRouting)
+)
+"""Routing policies with a columnar kernel, by exact type."""
+
+_NO_ACTIVE_NODE = "cannot route load on a fleet with no active node"
+
+
+def supports(
+    routing: RoutingPolicy, governor: Governor, autoscaler: Autoscaler | None
+) -> bool:
+    """True when this (routing, governor, autoscaler) trio has a kernel."""
+    return (
+        type(routing) in ROUTING_KERNEL_TYPES
+        and has_kernel(governor)
+        and (autoscaler is None or type(autoscaler) is Autoscaler)
+    )
+
+
+@dataclass(eq=False)
+class _StateTimeline:
+    """The fleet's power states resolved over the whole trace."""
+
+    state2d: np.ndarray  # (fleet_size, steps) int8, post-scaling
+    wake_counts: np.ndarray  # (steps,) int64
+    woken: List[List[int]]  # node ids whose boot began at each step
+    serving_ids: List[List[int]]  # ascending, per step
+    active_ids: List[List[int]]  # ascending, per step
+
+
+def _resolve_states(
+    mass_list: List[float],
+    fleet_size: int,
+    autoscaler: Autoscaler | None,
+) -> _StateTimeline:
+    """Replay the autoscaler's state machine over the mass sequence.
+
+    Mirrors ``FleetSimulator.run``'s per-step ordering exactly: boots
+    advance first, then one scaling decision mutates the states the
+    routing sees.  Node ids are list indices, so the reference's
+    lowest-id-wakes / highest-id-parks ordering is the natural slice.
+    """
+    steps = len(mass_list)
+    if autoscaler is None:
+        initially_serving = fleet_size
+    else:
+        initially_serving = autoscaler.desired_active(mass_list[0], fleet_size)
+    states = [
+        _SERVING if node < initially_serving else _OFF
+        for node in range(fleet_size)
+    ]
+    boot = [0] * fleet_size
+
+    state2d = np.empty((fleet_size, steps), dtype=np.int8)
+    wake_counts = np.zeros(steps, dtype=np.int64)
+    woken_steps: List[List[int]] = []
+    serving_steps: List[List[int]] = []
+    active_steps: List[List[int]] = []
+
+    for index in range(steps):
+        mass = mass_list[index]
+        for node in range(fleet_size):
+            if states[node] == _BOOTING:
+                boot[node] -= 1
+                if boot[node] <= 0:
+                    states[node] = _SERVING
+                    boot[node] = 0
+        woken: List[int] = []
+        if autoscaler is not None:
+            serving = [n for n in range(fleet_size) if states[n] == _SERVING]
+            booting = [n for n in range(fleet_size) if states[n] == _BOOTING]
+            off = [n for n in range(fleet_size) if states[n] == _OFF]
+            active = len(serving) + len(booting)
+            utilization = mass / len(serving) if serving else math.inf
+            if utilization > autoscaler.high or utilization < autoscaler.low:
+                desired = autoscaler.desired_active(mass, fleet_size)
+            else:
+                desired = active
+            if desired > active:
+                for node in off[: desired - active]:
+                    if autoscaler.wake_steps <= 0:
+                        states[node] = _SERVING
+                    else:
+                        states[node] = _BOOTING
+                        boot[node] = autoscaler.wake_steps
+                    woken.append(node)
+            elif desired < active:
+                candidates = booting[::-1] + serving[::-1]
+                for node in candidates[: active - desired]:
+                    states[node] = _OFF
+                    boot[node] = 0
+        state2d[:, index] = states
+        wake_counts[index] = len(woken)
+        woken_steps.append(woken)
+        serving_steps.append(
+            [n for n in range(fleet_size) if states[n] == _SERVING]
+        )
+        active_steps.append(
+            [n for n in range(fleet_size) if states[n] != _OFF]
+        )
+    return _StateTimeline(
+        state2d=state2d,
+        wake_counts=wake_counts,
+        woken=woken_steps,
+        serving_ids=serving_steps,
+        active_ids=active_steps,
+    )
+
+
+# -- routing ----------------------------------------------------------------------------
+
+
+def _even_split_shares(
+    mass: np.ndarray, target2d: np.ndarray
+) -> np.ndarray:
+    """``mass / |targets|`` on the target mask, zero elsewhere."""
+    counts = target2d.sum(axis=0)
+    if np.any(counts == 0):
+        raise ValueError(_NO_ACTIVE_NODE)
+    return np.where(target2d, (mass / counts)[np.newaxis, :], 0.0)
+
+
+def _pack_shares(
+    routing: PackRouting,
+    mass_list: List[float],
+    timeline: _StateTimeline,
+    fleet_size: int,
+) -> np.ndarray:
+    """Sequential fill in id order, spilling at ``fill_fraction``.
+
+    The reference subtracts each take from the running remainder, so
+    the spill boundary is order-dependent float arithmetic; this loop
+    repeats it verbatim on plain floats.
+    """
+    steps = len(mass_list)
+    shares2d = np.zeros((fleet_size, steps), dtype=np.float64)
+    fill = routing.fill_fraction
+    for index in range(steps):
+        targets = timeline.serving_ids[index] or timeline.active_ids[index]
+        if not targets:
+            raise ValueError(_NO_ACTIVE_NODE)
+        remaining = mass_list[index]
+        for node in targets:
+            if remaining <= 0.0:
+                break
+            take = min(fill, remaining)
+            shares2d[node, index] = take
+            remaining -= take
+        if remaining > 0.0:
+            overflow = remaining / len(targets)
+            for node in targets:
+                shares2d[node, index] += overflow
+    return shares2d
+
+
+# -- governor selection -----------------------------------------------------------------
+
+
+def _sequential_selection(
+    table: FrequencyTable,
+    governor: Governor,
+    routing: RoutingPolicy,
+    mass_list: List[float],
+    timeline: _StateTimeline,
+    shares2d: np.ndarray,
+    idx2d: np.ndarray,
+    fleet_size: int,
+) -> None:
+    """Step-at-a-time selection for state-coupled policies.
+
+    Handles the two cross-step couplings the vectorized path cannot:
+    ``least_loaded`` routing (shares depend on the previous step's
+    frequencies) and the ``conservative`` governor (one notch off the
+    node's own previous choice).  Vectorized across the fleet at each
+    step; woken nodes restart from the nominal frequency exactly like
+    :meth:`ServerNode.wake`.
+    """
+    least_loaded = type(routing) is LeastLoadedRouting
+    nominal_capacity = table.nominal_capacity_uips
+    capacities = table.capacity_uips.tolist()
+    previous = np.full(fleet_size, table.nominal_index, dtype=np.int64)
+    for index, mass in enumerate(mass_list):
+        for node in timeline.woken[index]:
+            previous[node] = table.nominal_index
+        if least_loaded:
+            targets = (
+                timeline.serving_ids[index] or timeline.active_ids[index]
+            )
+            if not targets:
+                raise ValueError(_NO_ACTIVE_NODE)
+            weights = [
+                capacities[previous[node]] / nominal_capacity
+                for node in targets
+            ]
+            total = 0.0
+            for weight in weights:
+                total += weight
+            if total <= 0.0:
+                weights = [1.0] * len(targets)
+                total = float(len(targets))
+            for node, weight in zip(targets, weights):
+                shares2d[node, index] = mass * (weight / total)
+        serving = timeline.serving_ids[index]
+        if serving:
+            selector = np.asarray(serving, dtype=np.int64)
+            utilization = shares2d[selector, index]
+            demand = utilization * nominal_capacity
+            chosen = select_step_indices(
+                governor, table, utilization, demand, previous[selector]
+            )
+            idx2d[selector, index] = chosen
+            previous[selector] = chosen
+
+
+# -- queueing tails ---------------------------------------------------------------------
+
+
+def _tail_latency(
+    table: FrequencyTable,
+    workload: WorkloadCharacteristics,
+    index: int,
+    demand_uips: float,
+) -> float:
+    """One loaded node's base p99 plus queueing-delay tail.
+
+    Scalar twin of ``FleetSimulator._node_tail_latency``: identical
+    branches, identical queueing-model calls, fed from the table's
+    columns instead of a record lookup.
+    """
+    base = float(table.latency_seconds[index])
+    if math.isnan(base):
+        return math.nan
+    capacity = float(table.capacity_uips[index])
+    if capacity <= 0.0:
+        return math.inf
+    utilization = demand_uips / capacity
+    if utilization >= 1.0 - _STABILITY_EPSILON:
+        return math.inf
+    instructions = workload.instructions_per_request
+    service_time = instructions / capacity
+    arrival_rate = demand_uips / instructions
+    cv = workload.service_time_cv
+    if cv == 1.0:
+        response_p99 = MM1Queue(
+            arrival_rate=arrival_rate, service_rate=capacity / instructions
+        ).response_time_percentile(99.0)
+    else:
+        response_p99 = MG1Queue(
+            arrival_rate=arrival_rate,
+            mean_service_time=service_time,
+            service_time_cv=cv,
+        ).response_time_percentile(99.0, corrected=True)
+    waiting_tail = max(0.0, response_p99 - service_time)
+    return base + waiting_tail
+
+
+def _worst_tails(
+    table: FrequencyTable,
+    workload: WorkloadCharacteristics,
+    timeline: _StateTimeline,
+    shares2d: np.ndarray,
+    idx2d: np.ndarray,
+    cache: Dict[Tuple[int, float], float],
+) -> np.ndarray:
+    """Per step: the worst loaded node's tail, NaN when none is loaded."""
+    steps = shares2d.shape[1]
+    tails = np.full(steps, math.nan)
+    shares = shares2d.tolist()
+    indices = idx2d.tolist()
+    nominal_capacity = table.nominal_capacity_uips
+    for index in range(steps):
+        worst = math.nan
+        for node in timeline.serving_ids[index]:
+            share = shares[node][index]
+            if share <= 0.0:
+                continue
+            demand = share * nominal_capacity
+            key = (indices[node][index], demand)
+            value = cache.get(key)
+            if value is None:
+                value = _tail_latency(table, workload, key[0], demand)
+                cache[key] = value
+            if math.isnan(worst) or value > worst:
+                worst = value
+        tails[index] = worst
+    return tails
+
+
+# -- exact reductions -------------------------------------------------------------------
+
+
+def _rowsum(array2d: np.ndarray) -> np.ndarray:
+    """Column totals accumulated row by row in ascending node order.
+
+    NumPy's ``sum`` uses pairwise/unrolled accumulation whose float
+    rounding differs from the reference loop's sequential ``+=`` per
+    node; this explicit row walk reproduces the reference order.
+    """
+    total = np.zeros(array2d.shape[1], dtype=np.float64)
+    for row in array2d:
+        total += row
+    return total
+
+
+# -- the kernel -------------------------------------------------------------------------
+
+
+def fleet_replay_columns(
+    table: FrequencyTable,
+    workload: WorkloadCharacteristics,
+    fleet_size: int,
+    governor: Governor,
+    routing: RoutingPolicy,
+    autoscaler: Autoscaler | None,
+    off_power_w: float,
+    trace: LoadTrace,
+    use_queueing: bool,
+    tail_cache: Optional[Dict[Tuple[int, float], float]] = None,
+) -> Tuple[Dict[str, np.ndarray], Dict[int, Dict[str, np.ndarray]]]:
+    """One routing policy's fleet replay as (fleet, per-node) columns.
+
+    Caller guarantees :func:`supports` holds for the trio; the result
+    is bit-for-bit identical to ``FleetSimulator.run``'s object path.
+    """
+    steps = len(trace)
+    utilization = np.asarray(trace.utilization, dtype=np.float64)
+    mass = utilization * fleet_size
+    mass_list = mass.tolist()
+    nominal_capacity = table.nominal_capacity_uips
+
+    timeline = _resolve_states(mass_list, fleet_size, autoscaler)
+    serving2d = timeline.state2d == _SERVING
+    booting2d = timeline.state2d == _BOOTING
+
+    idx2d = np.full((fleet_size, steps), table.nominal_index, dtype=np.int64)
+    routing_type = type(routing)
+    if routing_type is LeastLoadedRouting:
+        shares2d = np.zeros((fleet_size, steps), dtype=np.float64)
+        _sequential_selection(
+            table, governor, routing, mass_list, timeline, shares2d, idx2d,
+            fleet_size,
+        )
+    else:
+        if routing_type is RoundRobinRouting:
+            shares2d = _even_split_shares(mass, serving2d | booting2d)
+        elif routing_type is SpreadRouting:
+            serving_counts = serving2d.sum(axis=0)
+            target2d = np.where(
+                serving_counts[np.newaxis, :] > 0,
+                serving2d,
+                serving2d | booting2d,
+            )
+            shares2d = _even_split_shares(mass, target2d)
+        else:  # PackRouting
+            shares2d = _pack_shares(routing, mass_list, timeline, fleet_size)
+        if is_memoryless_kernel(governor):
+            chosen = select_step_indices(
+                governor,
+                table,
+                shares2d[serving2d],
+                shares2d[serving2d] * nominal_capacity,
+                idx2d[serving2d],
+            )
+            idx2d[serving2d] = chosen
+        else:
+            _sequential_selection(
+                table, governor, routing, mass_list, timeline, shares2d,
+                idx2d, fleet_size,
+            )
+
+    demand2d = shares2d * nominal_capacity
+
+    # Per-node columns: gathers over the selected indices, with the
+    # booting/off branches exactly as ServerNode.step writes them.
+    frequency2d = np.where(serving2d, table.frequencies_hz[idx2d], math.nan)
+    power2d = np.where(
+        serving2d,
+        table.power_w[idx2d],
+        np.where(booting2d, table.power_w[0], off_power_w),
+    )
+    wake_extra2d = np.zeros((fleet_size, steps), dtype=np.float64)
+    wake_energy = autoscaler.wake_energy_j if autoscaler is not None else 0.0
+    for index, woken in enumerate(timeline.woken):
+        for node in woken:
+            wake_extra2d[node, index] = wake_energy
+    energy2d = power2d * trace.step_seconds + wake_extra2d
+    capacity2d = np.where(serving2d, table.capacity_uips[idx2d], 0.0)
+    served2d = np.where(serving2d, np.minimum(demand2d, capacity2d), 0.0)
+    qos_metric2d = np.where(serving2d, table.qos_metric[idx2d], math.nan)
+    qos_ok2d = np.where(serving2d, table.qos_ok[idx2d], True)
+    demand_met2d = np.where(
+        serving2d,
+        table.covers_capacity_uips[idx2d] >= demand2d,
+        demand2d <= 0.0,
+    )
+    violation2d = ~(qos_ok2d & demand_met2d)
+
+    serving_counts = serving2d.sum(axis=0)
+    booting_counts = booting2d.sum(axis=0)
+    node_violations = violation2d.sum(axis=0)
+
+    if use_queueing:
+        tails = _worst_tails(
+            table,
+            workload,
+            timeline,
+            shares2d,
+            idx2d,
+            {} if tail_cache is None else tail_cache,
+        )
+        qos_limit = workload.qos_limit_seconds
+        queue_ok = np.isnan(tails) | (tails <= qos_limit + 1e-12)
+    else:
+        tails = np.full(steps, math.nan)
+        queue_ok = np.ones(steps, dtype=bool)
+
+    fleet_columns: Dict[str, np.ndarray] = {
+        "step": np.arange(steps, dtype=np.int64),
+        "time_s": trace.times(),
+        "utilization": utilization,
+        "offered_uips": mass * nominal_capacity,
+        "served_uips": _rowsum(served2d),
+        "total_power_w": _rowsum(power2d),
+        "energy_j": _rowsum(energy2d),
+        "tail_latency_s": tails,
+        "active_servers": (serving_counts + booting_counts).astype(np.int64),
+        "serving_servers": serving_counts.astype(np.int64),
+        "booting_servers": booting_counts.astype(np.int64),
+        "used_servers": (serving2d & (shares2d > 0.0)).sum(axis=0).astype(np.int64),
+        "wake_events": timeline.wake_counts,
+        "node_violations": node_violations.astype(np.int64),
+        "queue_ok": queue_ok,
+        "demand_met": demand_met2d.all(axis=0),
+        "violation": node_violations > 0,
+    }
+    node_columns: Dict[int, Dict[str, np.ndarray]] = {
+        node: {
+            "state": timeline.state2d[node],
+            "frequency_hz": frequency2d[node],
+            "power_w": power2d[node],
+            "energy_j": energy2d[node],
+            "demand_uips": demand2d[node],
+            "capacity_uips": capacity2d[node],
+            "served_uips": served2d[node],
+            "qos_metric": qos_metric2d[node],
+            "qos_ok": qos_ok2d[node],
+            "demand_met": demand_met2d[node],
+            "violation": violation2d[node],
+        }
+        for node in range(fleet_size)
+    }
+    return fleet_columns, node_columns

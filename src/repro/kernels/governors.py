@@ -1,0 +1,181 @@
+"""Vectorized governor kernels over a :class:`FrequencyTable`.
+
+Each kernel is the whole-array twin of one registered
+:class:`~repro.dvfs.governors.Governor` policy: instead of one
+``select`` call per trace step it maps an entire utilisation/demand
+array to grid *indices* in a handful of NumPy operations.  The
+arithmetic mirrors the scalar policies term for term (the same
+tolerance-scaled coverage comparison, the same threshold tests, the
+same nominal-frequency fallbacks), so kernel and reference replays are
+bit-for-bit identical -- the property tests pin exactly that.
+
+The memoryless policies (``performance``, ``powersave``, ``ondemand``,
+``qos_tracker``) are pure batch selections, so a fleet stepper can run
+them over every (node, step) pair at once.  The stateful
+``conservative`` policy walks the grid one notch at a time; its
+whole-trace kernel keeps a tight scalar loop over plain Python floats
+(no per-step object or dict traffic), and its batch form advances many
+nodes one step in parallel.
+
+Dispatch is by *exact* governor type: a subclass with an overridden
+``select`` falls back to the object-based reference path rather than
+silently getting the base-class kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.dvfs.governors import (
+    ConservativeGovernor,
+    Governor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    QosTrackerGovernor,
+)
+from repro.kernels.table import FrequencyTable
+
+StepKernel = Callable[
+    [Governor, FrequencyTable, np.ndarray, np.ndarray, np.ndarray], np.ndarray
+]
+
+
+def _performance_step(
+    governor: Governor,
+    table: FrequencyTable,
+    utilization: np.ndarray,
+    demand_uips: np.ndarray,
+    previous_index: np.ndarray,
+) -> np.ndarray:
+    return np.full(utilization.shape, table.nominal_index, dtype=np.int64)
+
+
+def _powersave_step(
+    governor: Governor,
+    table: FrequencyTable,
+    utilization: np.ndarray,
+    demand_uips: np.ndarray,
+    previous_index: np.ndarray,
+) -> np.ndarray:
+    return np.zeros(utilization.shape, dtype=np.int64)
+
+
+def _ondemand_step(
+    governor: OndemandGovernor,
+    table: FrequencyTable,
+    utilization: np.ndarray,
+    demand_uips: np.ndarray,
+    previous_index: np.ndarray,
+) -> np.ndarray:
+    target = demand_uips / governor.up_threshold
+    indices = table.lowest_covering_indices(target)
+    indices = np.where(indices < 0, table.nominal_index, indices)
+    return np.where(
+        utilization > governor.up_threshold, table.nominal_index, indices
+    )
+
+
+def _qos_tracker_step(
+    governor: QosTrackerGovernor,
+    table: FrequencyTable,
+    utilization: np.ndarray,
+    demand_uips: np.ndarray,
+    previous_index: np.ndarray,
+) -> np.ndarray:
+    indices = table.lowest_covering_indices(demand_uips, require_qos=True)
+    return np.where(indices < 0, table.nominal_index, indices)
+
+
+def _conservative_step(
+    governor: ConservativeGovernor,
+    table: FrequencyTable,
+    utilization: np.ndarray,
+    demand_uips: np.ndarray,
+    previous_index: np.ndarray,
+) -> np.ndarray:
+    capacity = table.capacity_uips[previous_index]
+    positive = capacity > 0.0
+    load = np.where(
+        positive,
+        demand_uips / np.where(positive, capacity, 1.0),
+        1.0,
+    )
+    notch = (load > governor.up_threshold).astype(np.int64) - (
+        load < governor.down_threshold
+    ).astype(np.int64)
+    return np.clip(previous_index + notch, 0, len(table) - 1)
+
+
+STEP_KERNELS: Dict[type, StepKernel] = {
+    PerformanceGovernor: _performance_step,
+    PowersaveGovernor: _powersave_step,
+    OndemandGovernor: _ondemand_step,
+    QosTrackerGovernor: _qos_tracker_step,
+    ConservativeGovernor: _conservative_step,
+}
+"""One-step batch kernels by exact governor type (fleet stepping)."""
+
+MEMORYLESS_KERNEL_TYPES = frozenset(
+    (PerformanceGovernor, PowersaveGovernor, OndemandGovernor, QosTrackerGovernor)
+)
+"""Governor types whose kernel ignores the previous-frequency state."""
+
+
+def has_kernel(governor: Governor) -> bool:
+    """True when the exact governor type has a vectorized kernel."""
+    return type(governor) in STEP_KERNELS
+
+
+def is_memoryless_kernel(governor: Governor) -> bool:
+    """True when the governor's kernel needs no previous-index state."""
+    return type(governor) in MEMORYLESS_KERNEL_TYPES
+
+
+def select_step_indices(
+    governor: Governor,
+    table: FrequencyTable,
+    utilization: np.ndarray,
+    demand_uips: np.ndarray,
+    previous_index: np.ndarray,
+) -> np.ndarray:
+    """Grid indices for one batch of observations (one per element)."""
+    kernel = STEP_KERNELS[type(governor)]
+    return kernel(governor, table, utilization, demand_uips, previous_index)
+
+
+def select_trace_indices(
+    governor: Governor, table: FrequencyTable, utilization: np.ndarray
+) -> np.ndarray:
+    """Grid indices for a whole single-server trace.
+
+    The first observation sees the nominal frequency as the previous
+    one, exactly like :meth:`GovernorSimulator.replay`.
+    """
+    utilization = np.asarray(utilization, dtype=np.float64)
+    demand = utilization * table.nominal_capacity_uips
+    if is_memoryless_kernel(governor):
+        previous = np.full(utilization.shape, table.nominal_index, dtype=np.int64)
+        return select_step_indices(governor, table, utilization, demand, previous)
+    # conservative: one notch per step off the previous choice -- a
+    # scalar chain over plain floats (the table rows are plain lists
+    # here, so the loop body is a few float ops, no array scalars).
+    capacities = table.capacity_uips.tolist()
+    top = len(capacities) - 1
+    up = governor.up_threshold
+    down = governor.down_threshold
+    index = table.nominal_index
+    out = np.empty(len(utilization), dtype=np.int64)
+    for step, step_demand in enumerate(demand.tolist()):
+        capacity = capacities[index]
+        load = step_demand / capacity if capacity > 0 else 1.0
+        if load > up:
+            if index < top:
+                index += 1
+        elif load < down:
+            if index > 0:
+                index -= 1
+        out[step] = index
+    return out

@@ -24,8 +24,9 @@ import dataclasses
 import io
 import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.scenarios.registry import REGISTRY, ScenarioRegistry
 from repro.scenarios.runner import ScenarioResult, ScenarioRunner, _public_tree
@@ -67,6 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--parallel",
         action="store_true",
         help="fan the sweep out across workloads with a thread pool",
+    )
+    run_parser.add_argument(
+        "--timing",
+        action="store_true",
+        help=(
+            "report per-scenario wall time and evaluated-point counts "
+            "(appended to table output, embedded in JSON output)"
+        ),
     )
     run_parser.add_argument(
         "--output", type=Path, help="write a single scenario's output to FILE"
@@ -186,12 +195,43 @@ def _render_csv(result: ScenarioResult) -> str:
     return buffer.getvalue()
 
 
-def _render(result: ScenarioResult, fmt: str, include_sweep: bool) -> str:
+def _render(
+    result: ScenarioResult,
+    fmt: str,
+    include_sweep: bool,
+    timing: Dict[str, object] | None = None,
+) -> str:
     if fmt == "table":
-        return _render_table(result)
+        rendered = _render_table(result)
+        if timing is not None:
+            rendered += (
+                f"\ntiming: {timing['wall_s']:.3f} s wall, "
+                f"{timing['evaluated_points']} evaluated points"
+            )
+        return rendered
     if fmt == "csv":
         return _render_csv(result)
-    return json.dumps(result.as_dict(include_sweep=include_sweep), indent=2)
+    data = result.as_dict(include_sweep=include_sweep)
+    if timing is not None:
+        data["timing"] = timing
+    return json.dumps(data, indent=2)
+
+
+def _render_timing_summary(rows: List[Tuple[str, Dict[str, object]]]) -> str:
+    """One aligned table of wall time and evaluated points per scenario."""
+    from repro.utils.tables import format_table
+
+    return format_table(
+        ("scenario", "wall (s)", "evaluated points"),
+        [
+            (
+                name,
+                f"{timing['wall_s']:.3f}",
+                timing["evaluated_points"],
+            )
+            for name, timing in rows
+        ],
+    )
 
 
 def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
@@ -211,13 +251,22 @@ def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
 
     runner = ScenarioRunner(registry=registry, parallel=args.parallel)
     extension = {"table": "txt", "csv": "csv", "json": "json"}[args.format]
+    timing_rows: List[Tuple[str, Dict[str, object]]] = []
     for name in names:
+        started = time.perf_counter()
         try:
             result = runner.run(name)
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        rendered = _render(result, args.format, args.sweep)
+        timing: Dict[str, object] | None = None
+        if args.timing:
+            timing = {
+                "wall_s": time.perf_counter() - started,
+                "evaluated_points": result.context.evaluated_points,
+            }
+            timing_rows.append((result.spec.name, timing))
+        rendered = _render(result, args.format, args.sweep, timing)
         if args.output is not None:
             args.output.write_text(rendered + "\n")
             print(f"wrote {args.output}")
@@ -228,6 +277,9 @@ def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
             print(f"wrote {path}")
         else:
             print(rendered)
+    if timing_rows:
+        print()
+        print(_render_timing_summary(timing_rows))
     return 0
 
 

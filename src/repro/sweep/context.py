@@ -62,6 +62,9 @@ class ModelContext:
             WorkloadCharacteristics, BatchDegradationModel
         ] = {}
         self._grids: Dict[Tuple[float, ...] | None, Tuple[float, ...]] = {}
+        self._tables: Dict[
+            Tuple[WorkloadCharacteristics, Tuple[float, ...] | None], object
+        ] = {}
 
     @property
     def evaluated_points(self) -> int:
@@ -69,7 +72,11 @@ class ModelContext:
 
         Derived from the record cache's size, so it stays correct under
         the parallel sweep mode (a racing duplicate evaluation of the
-        same key overwrites rather than double-counts).
+        same key overwrites rather than double-counts) and under the
+        kernels' bulk table builds: :meth:`frequency_table` resolves
+        every grid point through :meth:`evaluate` and memoizes the
+        finished table, so each point is counted exactly once no matter
+        how many tables, replays or fleets consume it.
         """
         return len(self._records)
 
@@ -263,3 +270,27 @@ class ModelContext:
             self.evaluate(workload, frequency)
             for frequency in self.reachable_frequencies(frequencies)
         ]
+
+    def frequency_table(
+        self,
+        workload: WorkloadCharacteristics,
+        frequencies: Sequence[float] | None = None,
+    ):
+        """The workload's reachable grid as a frozen columnar table.
+
+        The replay kernels' working set: one
+        :class:`~repro.kernels.table.FrequencyTable` per (workload,
+        grid), memoized on the context.  Built strictly from
+        :meth:`evaluate`, so the bulk build shares the record cache
+        with every other consumer and :attr:`evaluated_points` counts
+        each grid point exactly once -- repeated builds (or replays on
+        the finished table) add nothing.
+        """
+        from repro.kernels.table import FrequencyTable
+
+        key = (workload, None if frequencies is None else tuple(frequencies))
+        table = self._tables.get(key)
+        if table is None:
+            table = FrequencyTable.from_context(self, workload, frequencies)
+            self._tables[key] = table
+        return table

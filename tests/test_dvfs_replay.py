@@ -206,9 +206,13 @@ def test_constant_load_replay_matches_single_point_evaluation(
 # -- the long Bitbrains replay ----------------------------------------------------------
 
 
-@pytest.mark.slow
 def test_week_long_bitbrains_replay_is_deterministic_and_bounded():
-    """A full week of 300-second Bitbrains steps, all five governors."""
+    """A full week of 300-second Bitbrains steps, all five governors.
+
+    Tier-1 since the kernel path landed: the vectorized replay makes
+    2016-step weeks cheap enough to run on every push (the object-based
+    reference variant below stays behind ``--runslow``).
+    """
     context = ModelContext(default_server(), degradation_bound=4.0)
     simulator = GovernorSimulator(context, VMS_HIGH_MEM)
     trace = LoadTrace.from_bitbrains(steps=2016, seed=77)
@@ -228,3 +232,15 @@ def test_week_long_bitbrains_replay_is_deterministic_and_bounded():
     assert tracker.total_energy_j < performance.total_energy_j
     degradation = tracker.column("qos_metric")
     assert np.all(degradation <= 4.0 + 1e-9)
+
+
+@pytest.mark.slow
+def test_week_long_bitbrains_replay_reference_path_matches_kernels():
+    """The object-based step loop reproduces the kernel week bit for bit."""
+    context = ModelContext(default_server(), degradation_bound=4.0)
+    simulator = GovernorSimulator(context, VMS_HIGH_MEM)
+    trace = LoadTrace.from_bitbrains(steps=2016, seed=77)
+    kernel = simulator.compare(trace)
+    reference = simulator.compare(trace, reference=True)
+    for name in GOVERNORS:
+        assert_replays_identical(kernel[name], reference[name])

@@ -1,0 +1,281 @@
+"""Kernel-vs-reference equivalence for the columnar fleet stepper.
+
+The acceptance criterion the tentpole pins: for **every** routing x
+governor x autoscale combination, the kernel path's fleet-level and
+per-node columns are bit-for-bit identical to the object-based
+reference loop -- wake penalties, boot countdowns, queueing tails,
+dropped-load violations and all.  Equality is ``np.array_equal`` on
+the raw arrays; no tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dvfs import GOVERNORS, LoadTrace
+from repro.fleet import ROUTERS, Autoscaler, FleetSimulator
+from repro.fleet.result import FLEET_COLUMNS, NODE_COLUMNS
+from repro.fleet.routing import SpreadRouting
+from repro.kernels import fleet_kernel_supports
+from repro.kernels.fleet import supports
+from repro.workloads.banking_vm import VMS_HIGH_MEM
+from repro.workloads.cloudsuite import WEB_SEARCH
+
+
+def assert_fleets_bit_identical(kernel, reference) -> None:
+    assert len(kernel) == len(reference)
+    for name in FLEET_COLUMNS:
+        assert np.array_equal(
+            kernel.column(name), reference.column(name), equal_nan=True
+        ), f"fleet column {name} differs between kernel and reference"
+    assert kernel.node_ids == reference.node_ids
+    for node_id in kernel.node_ids:
+        for name in NODE_COLUMNS:
+            assert np.array_equal(
+                kernel.node_column(node_id, name),
+                reference.node_column(node_id, name),
+                equal_nan=True,
+            ), f"node {node_id} column {name} differs"
+
+
+@pytest.fixture(scope="module")
+def short_bursty():
+    """A 40-step slice: bursts, troughs and autoscaler flapping."""
+    return LoadTrace.bursty().head(40)
+
+
+@pytest.mark.parametrize("routing", sorted(ROUTERS))
+@pytest.mark.parametrize("autoscaled", [False, True])
+@pytest.mark.parametrize("governor", sorted(GOVERNORS))
+def test_websearch_fleet_bit_identical(
+    routing, autoscaled, governor, default_context, short_bursty
+):
+    simulator = FleetSimulator(
+        default_context,
+        WEB_SEARCH,
+        fleet_size=5,
+        governor=governor,
+        autoscaler=Autoscaler() if autoscaled else None,
+        off_power_w=7.5,
+    )
+    kernel = simulator.run(short_bursty, routing)
+    reference = simulator.run(short_bursty, routing, reference=True)
+    assert_fleets_bit_identical(kernel, reference)
+    assert kernel.summary() == reference.summary()
+
+
+@pytest.mark.parametrize("routing", sorted(ROUTERS))
+def test_vm_fleet_bit_identical(routing, default_context, diurnal_trace):
+    """VM workloads: no queueing tails, degradation-based QoS."""
+    simulator = FleetSimulator(
+        default_context,
+        VMS_HIGH_MEM,
+        fleet_size=6,
+        autoscaler=Autoscaler(wake_steps=2, wake_energy_j=500.0),
+    )
+    kernel = simulator.run(diurnal_trace, routing)
+    reference = simulator.run(diurnal_trace, routing, reference=True)
+    assert_fleets_bit_identical(kernel, reference)
+
+
+def test_instant_wakes_bit_identical(default_context, short_bursty):
+    """wake_steps=0 exercises the boot-free wake transition."""
+    simulator = FleetSimulator(
+        default_context,
+        WEB_SEARCH,
+        fleet_size=4,
+        autoscaler=Autoscaler(wake_steps=0),
+    )
+    for routing in ROUTERS:
+        assert_fleets_bit_identical(
+            simulator.run(short_bursty, routing),
+            simulator.run(short_bursty, routing, reference=True),
+        )
+
+
+def test_compare_supports_reference_flag(default_context, short_bursty):
+    simulator = FleetSimulator(
+        default_context, WEB_SEARCH, fleet_size=3, autoscaler=Autoscaler()
+    )
+    kernel = simulator.compare(short_bursty)
+    reference = simulator.compare(short_bursty, reference=True)
+    assert list(kernel) == list(reference) == list(ROUTERS)
+    for name in ROUTERS:
+        assert_fleets_bit_identical(kernel[name], reference[name])
+
+
+def test_tail_cache_is_shared_without_drift(default_context, short_bursty):
+    """Repeated kernel runs reuse the tail memo and stay identical."""
+    simulator = FleetSimulator(
+        default_context, WEB_SEARCH, fleet_size=3, autoscaler=Autoscaler()
+    )
+    first = simulator.run(short_bursty, "pack")
+    assert simulator._tail_cache  # the memo filled up
+    second = simulator.run(short_bursty, "pack")
+    assert_fleets_bit_identical(first, second)
+
+
+def test_custom_routing_subclass_takes_the_reference_path(
+    default_context, short_bursty
+):
+    """Exact-type dispatch: an overridden policy's assign really runs."""
+
+    class ReverseSpread(SpreadRouting):
+        name = "reverse_spread"
+
+        def assign(self, mass, nodes):
+            shares = super().assign(mass, nodes)
+            return tuple(reversed(shares))
+
+    routing = ReverseSpread()
+    simulator = FleetSimulator(default_context, WEB_SEARCH, fleet_size=3)
+    assert not supports(
+        routing, simulator._make_governor(), simulator.autoscaler
+    )
+    result = simulator.run(short_bursty, routing)
+    assert result.routing_name == "reverse_spread"
+    # An even split reversed is still an even split, so the run is
+    # identical to spread -- proving the subclass's assign was honoured.
+    spread = simulator.run(short_bursty, "spread", reference=True)
+    np.testing.assert_array_equal(
+        result.column("energy_j"), spread.column("energy_j")
+    )
+
+
+def test_saturating_bursts_hit_the_queueing_tail_branches(
+    default_context, short_bursty
+):
+    """Burst fronts on a booting fleet saturate queues (inf tails)."""
+    simulator = FleetSimulator(
+        default_context,
+        WEB_SEARCH,
+        fleet_size=4,
+        governor="powersave",
+        autoscaler=Autoscaler(wake_steps=3),
+    )
+    kernel = simulator.run(short_bursty, "round_robin")
+    reference = simulator.run(short_bursty, "round_robin", reference=True)
+    assert_fleets_bit_identical(kernel, reference)
+    # The stress case actually stressed: some queue saturated.
+    assert kernel.saturated_step_count > 0
+
+
+# -- private kernel branches the simulators cannot reach --------------------------------
+
+
+def test_tail_latency_branches():
+    import math
+
+    from repro.kernels.fleet import _tail_latency
+    from repro.kernels.table import FrequencyTable
+
+    table = FrequencyTable(
+        workload_name="probe",
+        frequencies_hz=[1.0e9, 2.0e9],
+        capacity_uips=[0.0, 1.0e9],
+        power_w=[10.0, 20.0],
+        qos_metric=[math.nan, math.nan],
+        qos_ok=[True, True],
+        latency_seconds=[math.nan, 0.001],
+    )
+    # NaN base latency (VM workloads) -> NaN tail.
+    assert math.isnan(_tail_latency(table, WEB_SEARCH, 0, 1.0))
+    table_with_base = FrequencyTable(
+        workload_name="probe",
+        frequencies_hz=[1.0e9, 2.0e9],
+        capacity_uips=[0.0, 1.0e9],
+        power_w=[10.0, 20.0],
+        qos_metric=[0.5, 0.5],
+        qos_ok=[True, True],
+        latency_seconds=[0.001, 0.001],
+    )
+    # Zero capacity -> saturated.
+    assert _tail_latency(table_with_base, WEB_SEARCH, 0, 1.0) == math.inf
+    # Demand at capacity -> saturated.
+    assert _tail_latency(table_with_base, WEB_SEARCH, 1, 1.0e9) == math.inf
+    # Lightly loaded -> base plus a finite waiting tail.
+    light = _tail_latency(table_with_base, WEB_SEARCH, 1, 1.0e8)
+    assert 0.001 < light < math.inf
+
+
+def test_least_loaded_zero_capacity_falls_back_to_even_split():
+    import math
+
+    from repro.dvfs.governors import governor_by_name
+    from repro.kernels.fleet import fleet_replay_columns
+    from repro.kernels.table import FrequencyTable
+    from repro.fleet.routing import LeastLoadedRouting
+
+    # A degenerate grid whose bottom point has zero capacity: once
+    # powersave parks every node there, the least-loaded weights sum
+    # to zero and the policy's even-split fallback engages.
+    table = FrequencyTable(
+        workload_name="probe",
+        frequencies_hz=[1.0e9, 2.0e9],
+        capacity_uips=[0.0, 1.0e9],
+        power_w=[10.0, 20.0],
+        qos_metric=[0.0, 0.0],
+        qos_ok=[True, True],
+        latency_seconds=[math.nan, math.nan],
+    )
+    trace = LoadTrace.constant(0.5, steps=3)
+    fleet_columns, node_columns = fleet_replay_columns(
+        table=table,
+        workload=WEB_SEARCH,
+        fleet_size=2,
+        governor=governor_by_name("powersave"),
+        routing=LeastLoadedRouting(),
+        autoscaler=None,
+        off_power_w=0.0,
+        trace=trace,
+        use_queueing=False,
+    )
+    # Even split of the mass at every step, fallback steps included.
+    np.testing.assert_array_equal(node_columns[0]["demand_uips"],
+                                  node_columns[1]["demand_uips"])
+    # Nothing can be served at the zero-capacity point; the routed
+    # load is dropped and recorded as a violation.
+    assert np.all(fleet_columns["served_uips"] == 0.0)
+    assert np.all(fleet_columns["violation"])
+
+
+def test_routing_kernels_reject_an_empty_active_set():
+    from repro.kernels.fleet import (
+        _StateTimeline,
+        _even_split_shares,
+        _pack_shares,
+    )
+    from repro.fleet.routing import PackRouting
+
+    with pytest.raises(ValueError, match="no active node"):
+        _even_split_shares(np.array([1.0]), np.zeros((2, 1), dtype=bool))
+    timeline = _StateTimeline(
+        state2d=np.zeros((2, 1), dtype=np.int8),
+        wake_counts=np.zeros(1, dtype=np.int64),
+        woken=[[]],
+        serving_ids=[[]],
+        active_ids=[[]],
+    )
+    with pytest.raises(ValueError, match="no active node"):
+        _pack_shares(PackRouting(), [1.0], timeline, fleet_size=2)
+
+
+def test_custom_autoscaler_subclass_takes_the_reference_path(default_context):
+    class EagerScaler(Autoscaler):
+        pass
+
+    simulator = FleetSimulator(
+        default_context, WEB_SEARCH, fleet_size=3, autoscaler=EagerScaler()
+    )
+    governor = simulator._make_governor()
+    from repro.fleet.routing import router_by_name
+
+    assert not fleet_kernel_supports(
+        router_by_name("pack"), governor, simulator.autoscaler
+    )
+    # The run still works (reference fallback) and stays deterministic.
+    trace = LoadTrace.constant(0.5, steps=5)
+    first = simulator.run(trace, "pack")
+    second = simulator.run(trace, "pack")
+    np.testing.assert_array_equal(
+        first.column("energy_j"), second.column("energy_j")
+    )

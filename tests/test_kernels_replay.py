@@ -1,0 +1,104 @@
+"""Kernel-vs-reference equivalence for single-server governor replays.
+
+The contract the tentpole rests on: the vectorized kernel path and the
+object-based reference path produce **bit-for-bit identical** replay
+tables -- every column, every governor, scale-out and VM workloads,
+smooth and bursty traces.  Nothing here uses tolerances: equality is
+``np.array_equal`` on the raw arrays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dvfs import GOVERNORS, GovernorSimulator, LoadTrace
+from repro.dvfs.governors import PerformanceGovernor
+from repro.dvfs.replay import REPLAY_COLUMNS
+from repro.kernels import has_kernel, select_trace_indices
+from repro.workloads.cloudsuite import WEB_SEARCH
+
+
+def assert_bit_identical(kernel, reference) -> None:
+    assert len(kernel) == len(reference)
+    for name in REPLAY_COLUMNS:
+        assert np.array_equal(
+            kernel.column(name), reference.column(name), equal_nan=True
+        ), f"column {name} differs between kernel and reference"
+
+
+@pytest.mark.parametrize("governor", sorted(GOVERNORS))
+@pytest.mark.parametrize("trace_name", ["diurnal", "bursty"])
+def test_websearch_replay_bit_identical(
+    governor, trace_name, websearch_simulator, diurnal_trace, bursty_trace
+):
+    trace = diurnal_trace if trace_name == "diurnal" else bursty_trace
+    kernel = websearch_simulator.replay(trace, governor)
+    reference = websearch_simulator.replay(trace, governor, reference=True)
+    assert_bit_identical(kernel, reference)
+    assert kernel.summary() == reference.summary()
+
+
+@pytest.mark.parametrize("governor", sorted(GOVERNORS))
+def test_vm_replay_bit_identical(governor, vm_simulator, bursty_trace):
+    kernel = vm_simulator.replay(bursty_trace, governor)
+    reference = vm_simulator.replay(bursty_trace, governor, reference=True)
+    assert_bit_identical(kernel, reference)
+
+
+def test_extreme_loads_bit_identical(websearch_simulator):
+    """Zero, saturating and beyond-coverage loads hit every fallback."""
+    trace = LoadTrace(
+        name="edges",
+        step_seconds=60.0,
+        utilization=(0.0, 1.0, 0.01, 0.999, 0.5, 0.0, 1.0),
+    )
+    for governor in GOVERNORS:
+        assert_bit_identical(
+            websearch_simulator.replay(trace, governor),
+            websearch_simulator.replay(trace, governor, reference=True),
+        )
+
+
+def test_compare_supports_reference_flag(websearch_simulator, bursty_trace):
+    kernel = websearch_simulator.compare(bursty_trace)
+    reference = websearch_simulator.compare(bursty_trace, reference=True)
+    assert list(kernel) == list(reference) == list(GOVERNORS)
+    for name in GOVERNORS:
+        assert_bit_identical(kernel[name], reference[name])
+
+
+def test_custom_governor_subclass_takes_the_reference_path(
+    default_context, bursty_trace
+):
+    """Exact-type dispatch: overridden policies are never hijacked."""
+
+    class FloorGovernor(PerformanceGovernor):
+        name = "floor"
+
+        def select(self, observation, platform):
+            return platform.min_frequency_hz
+
+    governor = FloorGovernor()
+    assert not has_kernel(governor)
+    simulator = GovernorSimulator(default_context, WEB_SEARCH)
+    replay = simulator.replay(bursty_trace, governor)
+    # The subclass's select ran: everything at the minimum frequency,
+    # not the base class's kernel answer (the nominal maximum).
+    assert set(replay.column("frequency_hz")) == {
+        simulator.platform.min_frequency_hz
+    }
+
+
+def test_conservative_indices_move_one_notch_at_most(
+    websearch_simulator, bursty_trace
+):
+    from repro.dvfs.governors import governor_by_name
+
+    table = websearch_simulator.table
+    indices = select_trace_indices(
+        governor_by_name("conservative"),
+        table,
+        np.asarray(bursty_trace.utilization),
+    )
+    assert np.all(indices >= 0)
+    assert np.all(indices < len(table))
+    assert np.all(np.abs(np.diff(indices)) <= 1)

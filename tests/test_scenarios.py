@@ -309,6 +309,52 @@ def test_cli_run_parallel_matches_serial(tmp_path):
     assert serial == parallel
 
 
+def test_cli_run_timing_table(capsys):
+    assert cli_main(["run", "table1_ddr4", "--timing"]) == 0
+    out = capsys.readouterr().out
+    # Per-scenario line plus the aligned summary table.
+    assert "evaluated points" in out
+    assert "wall (s)" in out
+    assert "timing:" in out
+    assert "s wall" in out
+
+
+def test_cli_run_timing_json_embeds_counts(tmp_path, capsys):
+    output = tmp_path / "timed.json"
+    assert (
+        cli_main(
+            [
+                "run",
+                "table1_ddr4",
+                "--format",
+                "json",
+                "--timing",
+                "--output",
+                str(output),
+            ]
+        )
+        == 0
+    )
+    data = json.loads(output.read_text())
+    assert data["timing"]["wall_s"] > 0
+    assert data["timing"]["evaluated_points"] > 0
+    # The summary table still lands on stdout, not in the file.
+    out = capsys.readouterr().out
+    assert "wall (s)" in out
+
+
+def test_cli_run_without_timing_has_no_timing_output(tmp_path, capsys):
+    output = tmp_path / "untimed.json"
+    assert (
+        cli_main(
+            ["run", "table1_ddr4", "--format", "json", "--output", str(output)]
+        )
+        == 0
+    )
+    assert "timing" not in json.loads(output.read_text())
+    assert "wall (s)" not in capsys.readouterr().out
+
+
 # -- fleet spec fields ------------------------------------------------------------------
 
 
