@@ -101,9 +101,6 @@ class FleetSimulator:
         self._sim = GovernorSimulator(
             self.context, self.workload, frequencies=self.frequencies
         )
-        # Queueing-tail memo shared across routings and repeated runs;
-        # keyed by (grid index, demand), pure values, so reuse is safe.
-        self._tail_cache: Dict = {}
 
     # -- construction ------------------------------------------------------------------
 
@@ -213,7 +210,6 @@ class FleetSimulator:
                     off_power_w=self.off_power_w,
                     trace=trace,
                     use_queueing=use_queueing,
-                    tail_cache=self._tail_cache,
                 )
                 return FleetResult(
                     routing_name=routing.name,

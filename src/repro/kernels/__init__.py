@@ -15,7 +15,11 @@ step (and one node) at a time.  This package makes that path columnar:
 * :mod:`repro.kernels.replay` -- the single-server whole-trace replay
   as index selection plus column gathers.
 * :mod:`repro.kernels.fleet` -- the columnar fleet stepper: power-state
-  timeline, vectorized routing shares and bulk per-node columns.
+  timeline, vectorized routing shares, closed-form queueing tails and
+  bulk per-node columns.
+* :mod:`repro.kernels.batch` -- the batch axis on top: B replays
+  stacked into ``(B, T)`` / ``(B, N, T)`` tensors and evaluated in
+  single NumPy passes, driven by :class:`BatchReplayRunner`.
 
 The simulators dispatch here by default and keep the object-based path
 as a ``reference=`` fallback; kernel and reference columns are
@@ -23,11 +27,19 @@ bit-for-bit identical (pinned by the equivalence property tests), so
 every golden fixture is byte-stable across the two paths.
 """
 
-from repro.kernels.fleet import fleet_replay_columns
+from repro.kernels.batch import (
+    BatchReplayResult,
+    BatchReplayRunner,
+    FleetReplayBatch,
+    GovernorReplayBatch,
+    ReplaySpec,
+)
+from repro.kernels.fleet import fleet_replay_columns, tail_latencies
 from repro.kernels.fleet import supports as fleet_kernel_supports
 from repro.kernels.governors import (
     has_kernel,
     is_memoryless_kernel,
+    select_batch_trace_indices,
     select_step_indices,
     select_trace_indices,
 )
@@ -35,12 +47,19 @@ from repro.kernels.replay import governor_replay_columns
 from repro.kernels.table import FrequencyTable
 
 __all__ = [
+    "BatchReplayResult",
+    "BatchReplayRunner",
+    "FleetReplayBatch",
     "FrequencyTable",
+    "GovernorReplayBatch",
+    "ReplaySpec",
     "fleet_kernel_supports",
     "fleet_replay_columns",
     "governor_replay_columns",
     "has_kernel",
     "is_memoryless_kernel",
+    "select_batch_trace_indices",
     "select_step_indices",
     "select_trace_indices",
+    "tail_latencies",
 ]

@@ -1,0 +1,1113 @@
+"""Batched multi-replay tensor engine: one NumPy pass over B replays.
+
+The design-space questions the paper asks (which governor, what fleet
+size, which autoscaler band) are answered by sweeping *populations* of
+replays.  A single-replay kernel call is already vectorized along the
+trace axis; this module adds the batch axis:
+
+* **Single-server stacks** -- B (governor, trace) replays become one
+  ``(B, T)`` utilisation tensor (rows padded to the longest trace).
+  Memoryless governors select the whole tensor in one cover-matrix
+  pass; ``conservative`` walks the T axis once with all B rows
+  advancing a notch per step in parallel
+  (:func:`~repro.kernels.governors.select_batch_trace_indices`).
+* **Fleet stacks** -- B fleet replays sharing one (workload, fleet
+  size, governor, routing, autoscaler) configuration become
+  ``(B, N, T)`` tensors.  The autoscaler's power-state machine,
+  ``pack``'s sequential fill and ``least_loaded``'s frequency-coupled
+  weights stay step-sequential *within* a replay but operate on
+  length-B / ``(B, N)`` slices *across* the batch; queueing tails go
+  through the deduplicating closed-form
+  :func:`~repro.kernels.fleet.tail_latencies` kernel once for the
+  whole batch.
+* **Summaries** -- per-replay scalar summaries are axis-1 reductions
+  over exact-length row blocks (rows grouped by trace length, because
+  reducing a zero-padded row would change pairwise-summation order and
+  break bit parity).
+
+Everything is bit-for-bit identical to B independent single-replay
+kernel calls -- same floats, same ints, same NaN/inf placement -- which
+are themselves pinned against the object-based reference path, so the
+batch engine inherits the golden fixtures' guarantees transitively.
+
+:class:`BatchReplayRunner` is the user-facing entry point: a list of
+:class:`ReplaySpec` in, columnar per-replay summaries (and lazily
+materialized :class:`ReplayResult` / :class:`FleetResult` objects)
+out.  Specs whose exact (governor, routing, autoscaler) types have no
+kernel -- custom subclasses -- fall back to the per-replay simulator
+path, exactly like the single-replay dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dvfs.governors import Governor, governor_by_name
+from repro.dvfs.replay import ReplayResult
+from repro.dvfs.trace import LoadTrace
+from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.node import NodeState
+from repro.fleet.result import FleetResult
+from repro.fleet.routing import (
+    LeastLoadedRouting,
+    RoundRobinRouting,
+    RoutingPolicy,
+    SpreadRouting,
+    router_by_name,
+)
+from repro.kernels import fleet as fleet_kernel
+from repro.kernels.governors import (
+    has_kernel,
+    is_memoryless_kernel,
+    select_batch_trace_indices,
+    select_step_indices,
+)
+from repro.kernels.table import FrequencyTable
+from repro.utils.validation import check_non_negative
+from repro.workloads.base import WorkloadCharacteristics
+
+_OFF = int(NodeState.OFF)
+_BOOTING = int(NodeState.BOOTING)
+_SERVING = int(NodeState.SERVING)
+
+
+# -- the spec ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """One replay of a batch: what to run, on what, with which policies.
+
+    ``fleet_size=None`` is a single-server governor replay (routing,
+    autoscaler and off-power must stay unset); a fleet replay needs an
+    explicit routing.  Governors and routings accept registry names or
+    policy instances, exactly like the simulators.
+    """
+
+    workload: WorkloadCharacteristics
+    trace: LoadTrace
+    governor: Union[Governor, str] = "qos_tracker"
+    fleet_size: Optional[int] = None
+    routing: Union[RoutingPolicy, str, None] = None
+    autoscaler: Optional[Autoscaler] = None
+    off_power_w: float = 0.0
+    queueing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fleet_size is None:
+            if self.routing is not None:
+                raise ValueError(
+                    "a routing policy needs a fleet_size; single-server "
+                    "replays have no routing"
+                )
+            if self.autoscaler is not None:
+                raise ValueError(
+                    "an autoscaler needs a fleet_size; single-server "
+                    "replays have no autoscaler"
+                )
+            if self.off_power_w != 0.0:
+                raise ValueError(
+                    "off_power_w needs a fleet_size; single-server "
+                    "replays have no parked servers"
+                )
+            return
+        if self.fleet_size < 1:
+            raise ValueError(
+                f"fleet_size must be >= 1, got {self.fleet_size}"
+            )
+        if self.routing is None:
+            raise ValueError("a fleet replay needs a routing policy")
+        check_non_negative("off_power_w", self.off_power_w)
+        if (
+            self.autoscaler is not None
+            and self.autoscaler.min_servers > self.fleet_size
+        ):
+            raise ValueError(
+                f"autoscaler min_servers ({self.autoscaler.min_servers}) "
+                f"exceeds the fleet size ({self.fleet_size})"
+            )
+
+    @property
+    def is_fleet(self) -> bool:
+        """True when this spec replays a multi-server fleet."""
+        return self.fleet_size is not None
+
+
+# -- shared padding helpers -------------------------------------------------------------
+
+
+def _padded_utilization(
+    traces: Sequence[LoadTrace],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack trace utilisations into (B, T_max), zero-padded rows."""
+    lengths = np.array([len(trace) for trace in traces], dtype=np.int64)
+    util2d = np.zeros((len(traces), int(lengths.max())), dtype=np.float64)
+    for row, trace in enumerate(traces):
+        util2d[row, : lengths[row]] = np.asarray(
+            trace.utilization, dtype=np.float64
+        )
+    return util2d, lengths
+
+
+def _length_groups(lengths: np.ndarray):
+    """Yield (length, row-index array) pairs, one per distinct length."""
+    for length in np.unique(lengths):
+        yield int(length), np.nonzero(lengths == length)[0]
+
+
+# -- single-server batches --------------------------------------------------------------
+
+
+class GovernorReplayBatch:
+    """B single-server replays of one governor stacked into (B, T).
+
+    Row ``b`` of every column tensor, sliced to its trace length, is
+    bit-identical to ``governor_replay_columns(table, governor,
+    traces[b])``.
+    """
+
+    def __init__(
+        self,
+        table: FrequencyTable,
+        governor: Governor,
+        traces: Sequence[LoadTrace],
+        workload: Optional[WorkloadCharacteristics] = None,
+    ):
+        self.table = table
+        self.governor = governor
+        self.traces = list(traces)
+        self.workload = workload
+        util2d, self.lengths = _padded_utilization(self.traces)
+        demand2d = util2d * table.nominal_capacity_uips
+        idx2d = select_batch_trace_indices(governor, table, util2d)
+        power2d = table.power_w[idx2d]
+        capacity2d = table.capacity_uips[idx2d]
+        qos_ok2d = table.qos_ok[idx2d]
+        demand_met2d = table.covers_capacity_uips[idx2d] >= demand2d
+        step_seconds = np.array(
+            [trace.step_seconds for trace in self.traces], dtype=np.float64
+        )
+        self.columns: Dict[str, np.ndarray] = {
+            "utilization": util2d,
+            "frequency_hz": table.frequencies_hz[idx2d],
+            "power_w": power2d,
+            "energy_j": power2d * step_seconds[:, np.newaxis],
+            "demand_uips": demand2d,
+            "capacity_uips": capacity2d,
+            "served_uips": np.minimum(demand2d, capacity2d),
+            "qos_metric": table.qos_metric[idx2d],
+            "qos_ok": qos_ok2d,
+            "demand_met": demand_met2d,
+            "violation": ~(qos_ok2d & demand_met2d),
+        }
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def columns_for(self, row: int) -> Dict[str, np.ndarray]:
+        """One replay's column dict (rows sliced to the trace length)."""
+        trace = self.traces[row]
+        length = len(trace)
+        out: Dict[str, np.ndarray] = {
+            "step": np.arange(length, dtype=np.int64),
+            "time_s": trace.times(),
+        }
+        for name, tensor in self.columns.items():
+            out[name] = tensor[row, :length]
+        return out
+
+    def result(self, row: int) -> ReplayResult:
+        """Materialize one replay as a full :class:`ReplayResult`."""
+        if self.workload is None:
+            raise ValueError(
+                "this batch was built without a workload; results and "
+                "summaries are unavailable"
+            )
+        trace = self.traces[row]
+        return ReplayResult(
+            governor_name=self.governor.name,
+            workload_name=self.workload.name,
+            trace_name=trace.name,
+            step_seconds=trace.step_seconds,
+            instructions_per_request=self.workload.instructions_per_request,
+            columns=self.columns_for(row),
+        )
+
+    def summaries(self) -> List[Dict[str, object]]:
+        """Per-replay scalar summaries, computed columnar.
+
+        Key-for-key and bit-for-bit what ``ReplayResult.summary()``
+        returns for each replay: the reductions run as axis-1 passes
+        over exact-length row blocks, which NumPy evaluates with the
+        same pairwise order as the per-replay 1-D reductions.
+        """
+        if self.workload is None:
+            raise ValueError(
+                "this batch was built without a workload; results and "
+                "summaries are unavailable"
+            )
+        instructions = self.workload.instructions_per_request
+        out: List[Optional[Dict[str, object]]] = [None] * len(self.traces)
+        for length, rows in _length_groups(self.lengths):
+            block = {
+                name: self.columns[name][rows][:, :length]
+                for name in (
+                    "energy_j",
+                    "power_w",
+                    "frequency_hz",
+                    "served_uips",
+                    "violation",
+                )
+            }
+            energy_sum = block["energy_j"].sum(axis=1)
+            power_mean = block["power_w"].mean(axis=1)
+            frequency_mean = block["frequency_hz"].mean(axis=1)
+            sorted_freq = np.sort(block["frequency_hz"], axis=1)
+            if length > 1:
+                distinct = 1 + (np.diff(sorted_freq, axis=1) != 0).sum(axis=1)
+            else:
+                distinct = np.ones(len(rows), dtype=np.int64)
+            served_sum = block["served_uips"].sum(axis=1)
+            violations = block["violation"].sum(axis=1)
+            for position, row in enumerate(rows.tolist()):
+                trace = self.traces[row]
+                total_energy = float(energy_sum[position])
+                served = served_sum[position] * trace.step_seconds
+                work = float(served / 1.0e9)
+                requests = (
+                    None if instructions <= 0 else float(served / instructions)
+                )
+                violation_count = int(violations[position])
+                out[row] = {
+                    "governor": self.governor.name,
+                    "workload": self.workload.name,
+                    "trace": trace.name,
+                    "steps": length,
+                    "step_seconds": trace.step_seconds,
+                    "total_energy_j": total_energy,
+                    "mean_power_w": float(power_mean[position]),
+                    "mean_frequency_hz": float(frequency_mean[position]),
+                    "distinct_frequencies": int(distinct[position]),
+                    "total_giga_instructions": work,
+                    "energy_per_giga_instruction_j": (
+                        total_energy / work if work > 0 else None
+                    ),
+                    "total_requests": requests,
+                    "energy_per_request_j": (
+                        None
+                        if requests is None or requests <= 0
+                        else total_energy / requests
+                    ),
+                    "violation_count": violation_count,
+                    "violation_fraction": (
+                        violation_count / length if length else 0.0
+                    ),
+                }
+        return out  # type: ignore[return-value]
+
+
+# -- fleet batches ----------------------------------------------------------------------
+
+
+def _desired_active_batch(
+    mass: np.ndarray, fleet_size: int, autoscaler: Autoscaler
+) -> np.ndarray:
+    """Vector twin of :meth:`Autoscaler.desired_active` over B rows."""
+    needed = np.ceil(mass / autoscaler.target - 1e-12).astype(np.int64)
+    desired = np.maximum(
+        autoscaler.min_servers, np.minimum(fleet_size, needed)
+    )
+    return np.where(mass <= 0.0, autoscaler.min_servers, desired)
+
+
+def _batched_state_timeline(
+    mass2d: np.ndarray, fleet_size: int, autoscaler: Optional[Autoscaler]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The autoscaler state machine over all B replays at once.
+
+    Returns ``(state3d, wake3d)`` of shape (B, N, T).  The loop runs
+    over T only; every step advances all B fleets with (B, N) array
+    ops that mirror ``_resolve_states``'s scalar pass: boots first,
+    then one scaling decision (lowest-id off nodes wake, booting
+    nodes park before the highest-id serving nodes).
+    """
+    batch, steps = mass2d.shape
+    if autoscaler is None:
+        # No scaling: every node serves every step, nothing ever wakes.
+        return (
+            np.full((batch, fleet_size, steps), _SERVING, dtype=np.int8),
+            np.zeros((batch, fleet_size, steps), dtype=bool),
+        )
+    initially_serving = _desired_active_batch(
+        mass2d[:, 0], fleet_size, autoscaler
+    )
+    node_ids = np.arange(fleet_size, dtype=np.int64)
+    states = np.where(
+        node_ids[np.newaxis, :] < initially_serving[:, np.newaxis],
+        _SERVING,
+        _OFF,
+    ).astype(np.int8)
+    boot = np.zeros((batch, fleet_size), dtype=np.int64)
+    state3d = np.empty((batch, fleet_size, steps), dtype=np.int8)
+    wake3d = np.zeros((batch, fleet_size, steps), dtype=bool)
+
+    for step in range(steps):
+        mass = mass2d[:, step]
+        booting = states == _BOOTING
+        if booting.any():
+            boot = boot - booting.astype(np.int64)
+            done = booting & (boot <= 0)
+            states = np.where(done, np.int8(_SERVING), states)
+            boot = np.where(done, 0, boot)
+        if autoscaler is not None:
+            serving = states == _SERVING
+            booting = states == _BOOTING
+            off = states == _OFF
+            n_serving = serving.sum(axis=1)
+            n_booting = booting.sum(axis=1)
+            active = n_serving + n_booting
+            utilization = np.where(
+                n_serving > 0, mass / np.maximum(n_serving, 1), np.inf
+            )
+            rescale = (utilization > autoscaler.high) | (
+                utilization < autoscaler.low
+            )
+            desired = np.where(
+                rescale,
+                _desired_active_batch(mass, fleet_size, autoscaler),
+                active,
+            )
+            delta = desired - active
+            wake_quota = np.maximum(delta, 0)
+            if wake_quota.any():
+                # Rank each off node by how many off nodes have a
+                # lower id: the lowest-ranked `quota` of them wake.
+                off_rank = np.cumsum(off, axis=1) - off.astype(np.int64)
+                wake = off & (off_rank < wake_quota[:, np.newaxis])
+                if autoscaler.wake_steps <= 0:
+                    states = np.where(wake, np.int8(_SERVING), states)
+                else:
+                    states = np.where(wake, np.int8(_BOOTING), states)
+                    boot = np.where(wake, autoscaler.wake_steps, boot)
+                wake3d[:, :, step] = wake
+            park_quota = np.maximum(-delta, 0)
+            if park_quota.any():
+                # Candidates in park order: booting nodes by descending
+                # id, then serving nodes by descending id.  A node's
+                # rank is the number of candidates ahead of it.
+                higher_boot = (
+                    booting[:, ::-1].cumsum(axis=1)[:, ::-1]
+                    - booting.astype(np.int64)
+                )
+                higher_serving = (
+                    serving[:, ::-1].cumsum(axis=1)[:, ::-1]
+                    - serving.astype(np.int64)
+                )
+                park = (
+                    booting & (higher_boot < park_quota[:, np.newaxis])
+                ) | (
+                    serving
+                    & (
+                        (n_booting[:, np.newaxis] + higher_serving)
+                        < park_quota[:, np.newaxis]
+                    )
+                )
+                states = np.where(park, np.int8(_OFF), states)
+                boot = np.where(park, 0, boot)
+        state3d[:, :, step] = states
+    return state3d, wake3d
+
+
+def _batched_even_split(
+    mass2d: np.ndarray, target3d: np.ndarray, valid2d: np.ndarray
+) -> np.ndarray:
+    """``mass / |targets|`` on the target mask, zero elsewhere."""
+    counts2d = target3d.sum(axis=1)
+    if np.any((counts2d == 0) & valid2d):
+        raise ValueError(fleet_kernel._NO_ACTIVE_NODE)
+    safe = np.where(counts2d == 0, 1, counts2d)
+    return np.where(
+        target3d, (mass2d / safe)[:, np.newaxis, :], 0.0
+    )
+
+
+def _batched_pack_shares(
+    routing, mass2d, serving3d, active3d, valid2d
+) -> np.ndarray:
+    """Pack's sequential fill, batched: loop nodes, vectorize rows.
+
+    The spill arithmetic is order-dependent float subtraction, so the
+    fill walks nodes in id order exactly like the scalar loop -- but
+    each walk step updates all B remainders at once.  Subtracting a
+    zero take is float-exact, so rows that already drained (the scalar
+    loop's ``break``) pass through unchanged.
+    """
+    batch, fleet_size, steps = serving3d.shape
+    shares3d = np.zeros((batch, fleet_size, steps), dtype=np.float64)
+    fill = routing.fill_fraction
+    for step in range(steps):
+        serving = serving3d[:, :, step]
+        targets = np.where(
+            serving.any(axis=1)[:, np.newaxis],
+            serving,
+            active3d[:, :, step],
+        )
+        if np.any(~targets.any(axis=1) & valid2d[:, step]):
+            raise ValueError(fleet_kernel._NO_ACTIVE_NODE)
+        remaining = mass2d[:, step].copy()
+        for node in range(fleet_size):
+            eligible = targets[:, node] & (remaining > 0.0)
+            take = np.where(
+                eligible, np.minimum(fill, remaining), 0.0
+            )
+            shares3d[:, node, step] = take
+            remaining = remaining - take
+        overflowing = remaining > 0.0
+        if overflowing.any():
+            counts = targets.sum(axis=1)
+            safe = np.where(counts == 0, 1, counts)
+            extra = np.where(overflowing, remaining / safe, 0.0)
+            shares3d[:, :, step] += np.where(
+                targets, extra[:, np.newaxis], 0.0
+            )
+    return shares3d
+
+
+def _batched_sequential_selection(
+    table: FrequencyTable,
+    governor: Governor,
+    least_loaded: bool,
+    mass2d: np.ndarray,
+    serving3d: np.ndarray,
+    active3d: np.ndarray,
+    wake3d: np.ndarray,
+    shares3d: np.ndarray,
+    idx3d: np.ndarray,
+    valid2d: np.ndarray,
+) -> None:
+    """Step-at-a-time selection, vectorized across batch and fleet.
+
+    The batched twin of ``_sequential_selection``: ``least_loaded``
+    weights couple to the previous step's frequencies and the
+    ``conservative`` governor to each node's own previous choice, so
+    the T axis stays a loop -- but each step is (B, N) array math.
+    """
+    batch, fleet_size, steps = serving3d.shape
+    nominal_capacity = table.nominal_capacity_uips
+    capacities = table.capacity_uips
+    previous = np.full(
+        (batch, fleet_size), table.nominal_index, dtype=np.int64
+    )
+    for step in range(steps):
+        woken = wake3d[:, :, step]
+        if woken.any():
+            previous[woken] = table.nominal_index
+        if least_loaded:
+            serving = serving3d[:, :, step]
+            targets = np.where(
+                serving.any(axis=1)[:, np.newaxis],
+                serving,
+                active3d[:, :, step],
+            )
+            if np.any(~targets.any(axis=1) & valid2d[:, step]):
+                raise ValueError(fleet_kernel._NO_ACTIVE_NODE)
+            weights = np.where(
+                targets, capacities[previous] / nominal_capacity, 0.0
+            )
+            # Accumulate in ascending node order (adding the zero
+            # weight of a non-target is float-exact), mirroring the
+            # scalar loop's sequential addition.
+            total = np.zeros(batch, dtype=np.float64)
+            for node in range(fleet_size):
+                total = total + weights[:, node]
+            fallback = total <= 0.0
+            if fallback.any():
+                counts = targets.sum(axis=1)
+                weights = np.where(
+                    fallback[:, np.newaxis] & targets, 1.0, weights
+                )
+                total = np.where(
+                    fallback,
+                    np.maximum(counts, 1).astype(np.float64),
+                    total,
+                )
+            shares3d[:, :, step] = np.where(
+                targets,
+                mass2d[:, step][:, np.newaxis]
+                * (weights / total[:, np.newaxis]),
+                0.0,
+            )
+        serving = serving3d[:, :, step]
+        if serving.any():
+            utilization = shares3d[:, :, step][serving]
+            chosen = select_step_indices(
+                governor,
+                table,
+                utilization,
+                utilization * nominal_capacity,
+                previous[serving],
+            )
+            idx3d[:, :, step][serving] = chosen
+            previous[serving] = chosen
+
+
+def _batched_rowsum(array3d: np.ndarray) -> np.ndarray:
+    """(B, N, T) -> (B, T) totals accumulated node by node, id order."""
+    total = np.zeros(
+        (array3d.shape[0], array3d.shape[2]), dtype=np.float64
+    )
+    for node in range(array3d.shape[1]):
+        total += array3d[:, node, :]
+    return total
+
+
+def _batched_worst_tails(
+    table: FrequencyTable,
+    workload: WorkloadCharacteristics,
+    serving3d: np.ndarray,
+    shares3d: np.ndarray,
+    idx3d: np.ndarray,
+) -> np.ndarray:
+    """Per (replay, step): the worst loaded node's tail, NaN if none."""
+    loaded = serving3d & (shares3d > 0.0)
+    tail3d = np.full(shares3d.shape, np.nan, dtype=np.float64)
+    tail3d[loaded] = fleet_kernel.tail_latencies(
+        table,
+        workload,
+        idx3d[loaded],
+        shares3d[loaded] * table.nominal_capacity_uips,
+    )
+    defined = ~np.isnan(tail3d)
+    candidates = np.where(defined, tail3d, -np.inf)
+    return np.where(
+        defined.any(axis=1), candidates.max(axis=1), np.nan
+    )
+
+
+class FleetReplayBatch:
+    """B fleet replays of one configuration stacked into (B, N, T).
+
+    All replays share (table, workload, fleet size, governor, routing,
+    autoscaler, off-power, queueing flag); only the traces differ --
+    the natural shape of a seed/trace sweep.  Row ``b``, sliced to its
+    trace length, is bit-identical to ``fleet_replay_columns`` on
+    ``traces[b]``.
+    """
+
+    def __init__(
+        self,
+        table: FrequencyTable,
+        workload: WorkloadCharacteristics,
+        fleet_size: int,
+        governor: Governor,
+        routing: RoutingPolicy,
+        autoscaler: Optional[Autoscaler],
+        off_power_w: float,
+        traces: Sequence[LoadTrace],
+        use_queueing: bool,
+        timeline_cache: Optional[dict] = None,
+    ):
+        self.table = table
+        self.workload = workload
+        self.fleet_size = fleet_size
+        self.governor = governor
+        self.routing = routing
+        self.autoscaler = autoscaler
+        self.traces = list(traces)
+        util2d, self.lengths = _padded_utilization(self.traces)
+        batch, steps = util2d.shape
+        mass2d = util2d * fleet_size
+        valid2d = (
+            np.arange(steps, dtype=np.int64)[np.newaxis, :]
+            < self.lengths[:, np.newaxis]
+        )
+        nominal_capacity = table.nominal_capacity_uips
+
+        # The power-state timeline depends only on (traces, fleet size,
+        # autoscaler) -- never on governor or routing -- so a runner
+        # sweeping governors over one trace set shares it across its
+        # groups.  The arrays are read-only downstream (every consumer
+        # derives new arrays), so sharing is safe.
+        if timeline_cache is not None:
+            key = (tuple(self.traces), fleet_size, autoscaler)
+            if key not in timeline_cache:
+                timeline_cache[key] = _batched_state_timeline(
+                    mass2d, fleet_size, autoscaler
+                )
+            state3d, wake3d = timeline_cache[key]
+        else:
+            state3d, wake3d = _batched_state_timeline(
+                mass2d, fleet_size, autoscaler
+            )
+        serving3d = state3d == _SERVING
+        booting3d = state3d == _BOOTING
+        active3d = serving3d | booting3d
+
+        idx3d = np.full(
+            (batch, fleet_size, steps), table.nominal_index, dtype=np.int64
+        )
+        routing_type = type(routing)
+        if routing_type is LeastLoadedRouting:
+            shares3d = np.zeros((batch, fleet_size, steps), dtype=np.float64)
+            _batched_sequential_selection(
+                table, governor, True, mass2d, serving3d, active3d,
+                wake3d, shares3d, idx3d, valid2d,
+            )
+        else:
+            if routing_type is RoundRobinRouting:
+                shares3d = _batched_even_split(mass2d, active3d, valid2d)
+            elif routing_type is SpreadRouting:
+                serving_counts = serving3d.sum(axis=1)
+                target3d = np.where(
+                    (serving_counts > 0)[:, np.newaxis, :],
+                    serving3d,
+                    active3d,
+                )
+                shares3d = _batched_even_split(mass2d, target3d, valid2d)
+            else:  # PackRouting
+                shares3d = _batched_pack_shares(
+                    routing, mass2d, serving3d, active3d, valid2d
+                )
+            if is_memoryless_kernel(governor):
+                chosen = select_step_indices(
+                    governor,
+                    table,
+                    shares3d[serving3d],
+                    shares3d[serving3d] * nominal_capacity,
+                    idx3d[serving3d],
+                )
+                idx3d[serving3d] = chosen
+            else:
+                _batched_sequential_selection(
+                    table, governor, False, mass2d, serving3d, active3d,
+                    wake3d, shares3d, idx3d, valid2d,
+                )
+
+        demand3d = shares3d * nominal_capacity
+        frequency3d = np.where(
+            serving3d, table.frequencies_hz[idx3d], np.nan
+        )
+        power3d = np.where(
+            serving3d,
+            table.power_w[idx3d],
+            np.where(booting3d, table.power_w[0], off_power_w),
+        )
+        wake_energy = (
+            autoscaler.wake_energy_j if autoscaler is not None else 0.0
+        )
+        wake_extra3d = np.where(wake3d, wake_energy, 0.0)
+        step_seconds = np.array(
+            [trace.step_seconds for trace in self.traces], dtype=np.float64
+        )
+        energy3d = (
+            power3d * step_seconds[:, np.newaxis, np.newaxis] + wake_extra3d
+        )
+        capacity3d = np.where(serving3d, table.capacity_uips[idx3d], 0.0)
+        served3d = np.where(
+            serving3d, np.minimum(demand3d, capacity3d), 0.0
+        )
+        qos_metric3d = np.where(serving3d, table.qos_metric[idx3d], np.nan)
+        qos_ok3d = np.where(serving3d, table.qos_ok[idx3d], True)
+        demand_met3d = np.where(
+            serving3d,
+            table.covers_capacity_uips[idx3d] >= demand3d,
+            demand3d <= 0.0,
+        )
+        violation3d = ~(qos_ok3d & demand_met3d)
+
+        serving_counts2d = serving3d.sum(axis=1)
+        booting_counts2d = booting3d.sum(axis=1)
+        node_violations2d = violation3d.sum(axis=1)
+
+        if use_queueing:
+            tails2d = _batched_worst_tails(
+                table, workload, serving3d, shares3d, idx3d
+            )
+            qos_limit = workload.qos_limit_seconds
+            queue_ok2d = np.isnan(tails2d) | (
+                tails2d <= qos_limit + 1e-12
+            )
+        else:
+            tails2d = np.full((batch, steps), np.nan)
+            queue_ok2d = np.ones((batch, steps), dtype=bool)
+
+        self.fleet_columns: Dict[str, np.ndarray] = {
+            "utilization": util2d,
+            "offered_uips": mass2d * nominal_capacity,
+            "served_uips": _batched_rowsum(served3d),
+            "total_power_w": _batched_rowsum(power3d),
+            "energy_j": _batched_rowsum(energy3d),
+            "tail_latency_s": tails2d,
+            "active_servers": (
+                serving_counts2d + booting_counts2d
+            ).astype(np.int64),
+            "serving_servers": serving_counts2d.astype(np.int64),
+            "booting_servers": booting_counts2d.astype(np.int64),
+            "used_servers": (serving3d & (shares3d > 0.0))
+            .sum(axis=1)
+            .astype(np.int64),
+            "wake_events": wake3d.sum(axis=1).astype(np.int64),
+            "node_violations": node_violations2d.astype(np.int64),
+            "queue_ok": queue_ok2d,
+            "demand_met": demand_met3d.all(axis=1),
+            "violation": node_violations2d > 0,
+        }
+        self.node_columns: Dict[str, np.ndarray] = {
+            "state": state3d,
+            "frequency_hz": frequency3d,
+            "power_w": power3d,
+            "energy_j": energy3d,
+            "demand_uips": demand3d,
+            "capacity_uips": capacity3d,
+            "served_uips": served3d,
+            "qos_metric": qos_metric3d,
+            "qos_ok": qos_ok3d,
+            "demand_met": demand_met3d,
+            "violation": violation3d,
+        }
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def columns_for(
+        self, row: int
+    ) -> Tuple[Dict[str, np.ndarray], Dict[int, Dict[str, np.ndarray]]]:
+        """One replay's (fleet, per-node) column dicts, length-sliced."""
+        trace = self.traces[row]
+        length = len(trace)
+        fleet: Dict[str, np.ndarray] = {
+            "step": np.arange(length, dtype=np.int64),
+            "time_s": trace.times(),
+        }
+        for name, tensor in self.fleet_columns.items():
+            fleet[name] = tensor[row, :length]
+        nodes = {
+            node: {
+                name: tensor[row, node, :length]
+                for name, tensor in self.node_columns.items()
+            }
+            for node in range(self.fleet_size)
+        }
+        return fleet, nodes
+
+    def result(self, row: int) -> FleetResult:
+        """Materialize one replay as a full :class:`FleetResult`."""
+        trace = self.traces[row]
+        fleet, nodes = self.columns_for(row)
+        return FleetResult(
+            routing_name=self.routing.name,
+            governor_name=self.governor.name,
+            workload_name=self.workload.name,
+            trace_name=trace.name,
+            fleet_size=self.fleet_size,
+            step_seconds=trace.step_seconds,
+            instructions_per_request=self.workload.instructions_per_request,
+            autoscaled=self.autoscaler is not None,
+            columns=fleet,
+            node_columns=nodes,
+        )
+
+    def summaries(self) -> List[Dict[str, object]]:
+        """Per-replay scalar summaries, bit-equal to FleetResult's."""
+        instructions = self.workload.instructions_per_request
+        columns = self.fleet_columns
+        out: List[Optional[Dict[str, object]]] = [None] * len(self.traces)
+        for length, rows in _length_groups(self.lengths):
+            def block(name: str) -> np.ndarray:
+                return columns[name][rows][:, :length]
+
+            energy_sum = block("energy_j").sum(axis=1)
+            power_mean = block("total_power_w").mean(axis=1)
+            active_mean = block("active_servers").mean(axis=1)
+            serving_block = block("serving_servers")
+            serving_mean = serving_block.mean(axis=1)
+            peak_serving = serving_block.max(axis=1)
+            used_mean = block("used_servers").mean(axis=1)
+            wake_sum = block("wake_events").sum(axis=1)
+            served_sum = block("served_uips").sum(axis=1)
+            offered_sum = block("offered_uips").sum(axis=1)
+            violations = block("violation").sum(axis=1)
+            queue_violations = (~block("queue_ok")).sum(axis=1)
+            tails = block("tail_latency_s")
+            finite = np.isfinite(tails)
+            has_finite = finite.any(axis=1)
+            finite_max = np.where(finite, tails, -np.inf).max(axis=1)
+            saturated = np.isinf(tails).sum(axis=1)
+            for position, row in enumerate(rows.tolist()):
+                trace = self.traces[row]
+                total_energy = float(energy_sum[position])
+                offered = float(offered_sum[position])
+                served = served_sum[position] * trace.step_seconds
+                work = float(served / 1.0e9)
+                requests = (
+                    None if instructions <= 0 else float(served / instructions)
+                )
+                duration = trace.step_seconds * length
+                violation_count = int(violations[position])
+                out[row] = {
+                    "routing": self.routing.name,
+                    "governor": self.governor.name,
+                    "workload": self.workload.name,
+                    "trace": trace.name,
+                    "fleet_size": self.fleet_size,
+                    "autoscaled": self.autoscaler is not None,
+                    "steps": length,
+                    "step_seconds": trace.step_seconds,
+                    "total_energy_j": total_energy,
+                    "mean_power_w": float(power_mean[position]),
+                    "mean_active_servers": float(active_mean[position]),
+                    "mean_serving_servers": float(serving_mean[position]),
+                    "mean_used_servers": float(used_mean[position]),
+                    "peak_serving_servers": int(peak_serving[position]),
+                    "wake_count": int(wake_sum[position]),
+                    "served_fraction": (
+                        1.0
+                        if offered <= 0.0
+                        else float(served_sum[position]) / offered
+                    ),
+                    "total_giga_instructions": work,
+                    "energy_per_giga_instruction_j": (
+                        total_energy / work if work > 0 else None
+                    ),
+                    "total_requests": requests,
+                    "mean_qps": (
+                        None
+                        if requests is None or duration <= 0
+                        else requests / duration
+                    ),
+                    "energy_per_request_j": (
+                        None
+                        if requests is None or requests <= 0
+                        else total_energy / requests
+                    ),
+                    "violation_count": violation_count,
+                    "violation_fraction": (
+                        violation_count / length if length else 0.0
+                    ),
+                    "queue_violation_count": int(queue_violations[position]),
+                    "saturated_step_count": int(saturated[position]),
+                    "max_tail_latency_s": (
+                        float(finite_max[position])
+                        if has_finite[position]
+                        else None
+                    ),
+                }
+        return out  # type: ignore[return-value]
+
+
+# -- the user-facing runner -------------------------------------------------------------
+
+
+class BatchReplayResult:
+    """The outcome of one batched run: B replays, columnar access.
+
+    :meth:`summaries` is the cheap bulk product (computed columnar,
+    no per-replay objects); :meth:`result` materializes any single
+    replay as a full :class:`ReplayResult` / :class:`FleetResult` on
+    demand.
+    """
+
+    def __init__(self, specs, placements):
+        self._specs = specs
+        self._placements = placements
+        self._summaries: Optional[List[Dict[str, object]]] = None
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def specs(self) -> List[ReplaySpec]:
+        """The specs, in submission order."""
+        return list(self._specs)
+
+    @property
+    def batched_count(self) -> int:
+        """Replays that ran through the tensor engine."""
+        return sum(
+            1 for kind, *_ in self._placements if kind == "batch"
+        )
+
+    @property
+    def fallback_count(self) -> int:
+        """Replays that fell back to the per-replay simulator path."""
+        return len(self._specs) - self.batched_count
+
+    def result(self, index: int):
+        """Replay ``index`` as a ReplayResult or FleetResult."""
+        kind, payload, row = self._placements[index]
+        if kind == "batch":
+            return payload.result(row)
+        return payload
+
+    def results(self) -> List[object]:
+        """Every replay materialized, in submission order."""
+        return [self.result(index) for index in range(len(self))]
+
+    def summaries(self) -> List[Dict[str, object]]:
+        """Per-replay scalar summaries, in submission order.
+
+        Bit-for-bit what ``result(i).summary()`` returns, computed as
+        columnar reductions over the batch tensors (cached).
+        """
+        if self._summaries is None:
+            per_batch: Dict[int, List[Dict[str, object]]] = {}
+            summaries = []
+            for kind, payload, row in self._placements:
+                if kind == "batch":
+                    key = id(payload)
+                    if key not in per_batch:
+                        per_batch[key] = payload.summaries()
+                    summaries.append(per_batch[key][row])
+                else:
+                    summaries.append(payload.summary())
+            self._summaries = summaries
+        return list(self._summaries)
+
+
+class BatchReplayRunner:
+    """Spec list in, columnar per-replay summaries out.
+
+    Groups the specs by shared (workload, governor, routing,
+    autoscaler, fleet) configuration, runs each group as one tensor
+    batch, and falls back to the per-replay simulator path for specs
+    whose exact policy types have no kernel (custom subclasses) --
+    the same dispatch rule the single-replay simulators apply.
+    """
+
+    def __init__(self, context, frequencies=None):
+        self.context = context
+        self.frequencies = frequencies
+
+    # -- resolution --------------------------------------------------------------------
+
+    def _table(self, workload: WorkloadCharacteristics) -> FrequencyTable:
+        return self.context.frequency_table(workload, self.frequencies)
+
+    @staticmethod
+    def _resolve_governor(governor: Union[Governor, str]) -> Governor:
+        if isinstance(governor, str):
+            return governor_by_name(governor)
+        return governor
+
+    @staticmethod
+    def _resolve_routing(
+        routing: Union[RoutingPolicy, str]
+    ) -> RoutingPolicy:
+        if isinstance(routing, str):
+            return router_by_name(routing)
+        return routing
+
+    @staticmethod
+    def _use_queueing(spec: ReplaySpec) -> bool:
+        return (
+            spec.queueing
+            and spec.workload.is_scale_out
+            and spec.workload.instructions_per_request > 0
+        )
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self, specs: Sequence[ReplaySpec]) -> BatchReplayResult:
+        """Evaluate every spec; batched where possible, exact always."""
+        specs = list(specs)
+        for spec in specs:
+            if not isinstance(spec, ReplaySpec):
+                raise TypeError(
+                    f"BatchReplayRunner needs ReplaySpec items, "
+                    f"got {type(spec).__name__}"
+                )
+        placements: List[Optional[tuple]] = [None] * len(specs)
+        single_groups: Dict[tuple, List[int]] = {}
+        fleet_groups: Dict[tuple, List[int]] = {}
+        timeline_cache: dict = {}
+        for position, spec in enumerate(specs):
+            governor = self._resolve_governor(spec.governor)
+            if spec.is_fleet:
+                routing = self._resolve_routing(spec.routing)
+                if fleet_kernel.supports(routing, governor, spec.autoscaler):
+                    key = (
+                        spec.workload,
+                        governor,
+                        routing,
+                        spec.autoscaler,
+                        spec.fleet_size,
+                        spec.off_power_w,
+                        self._use_queueing(spec),
+                    )
+                    fleet_groups.setdefault(key, []).append(position)
+                else:
+                    placements[position] = (
+                        "object",
+                        self._fallback(spec),
+                        0,
+                    )
+            else:
+                if has_kernel(governor):
+                    key = (spec.workload, governor)
+                    single_groups.setdefault(key, []).append(position)
+                else:
+                    placements[position] = (
+                        "object",
+                        self._fallback(spec),
+                        0,
+                    )
+        for (workload, governor), positions in single_groups.items():
+            batch = GovernorReplayBatch(
+                self._table(workload),
+                governor,
+                [specs[position].trace for position in positions],
+                workload=workload,
+            )
+            for row, position in enumerate(positions):
+                placements[position] = ("batch", batch, row)
+        for key, positions in fleet_groups.items():
+            (
+                workload,
+                governor,
+                routing,
+                autoscaler,
+                fleet_size,
+                off_power_w,
+                use_queueing,
+            ) = key
+            batch = FleetReplayBatch(
+                self._table(workload),
+                workload,
+                fleet_size,
+                governor,
+                routing,
+                autoscaler,
+                off_power_w,
+                [specs[position].trace for position in positions],
+                use_queueing,
+                timeline_cache=timeline_cache,
+            )
+            for row, position in enumerate(positions):
+                placements[position] = ("batch", batch, row)
+        return BatchReplayResult(specs, placements)
+
+    def _fallback(self, spec: ReplaySpec):
+        """One unsupported spec through the per-replay simulator path."""
+        if spec.is_fleet:
+            from repro.fleet.simulator import FleetSimulator
+
+            simulator = FleetSimulator(
+                self.context,
+                spec.workload,
+                fleet_size=spec.fleet_size,
+                governor=spec.governor,
+                autoscaler=spec.autoscaler,
+                frequencies=self.frequencies,
+                off_power_w=spec.off_power_w,
+                queueing=spec.queueing,
+            )
+            return simulator.run(spec.trace, spec.routing)
+        from repro.dvfs.simulator import GovernorSimulator
+
+        simulator = GovernorSimulator(
+            self.context, spec.workload, frequencies=self.frequencies
+        )
+        return simulator.replay(spec.trace, spec.governor)

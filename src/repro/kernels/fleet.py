@@ -24,10 +24,14 @@ in bulk:
    accumulate node-by-node in ascending id order, reproducing the
    reference loop's float-addition order bit for bit.
 
-Queueing tails reuse the exact scalar
-:class:`~repro.latency.queueing.MM1Queue` / :class:`MG1Queue` math the
-reference path calls, memoized by (grid index, demand) in a cache the
-simulator shares across routing policies.
+Queueing tails are evaluated by :func:`tail_latencies`, a closed-form
+vectorized twin of the scalar
+:class:`~repro.latency.queueing.MM1Queue` / :class:`MG1Queue` math:
+the (grid index, demand) pairs of every loaded node-step are
+deduplicated with ``np.unique`` and each unique pair is solved once
+with the exact float expressions the scalar queue models use (the one
+``math.log`` per unique pair included, because ``np.log`` is not
+bit-identical to ``math.log`` on every platform).
 
 Dispatch is by exact type (routing, governor, autoscaler): any subclass
 with overridden behaviour falls back to the object-based reference
@@ -38,7 +42,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -59,7 +63,6 @@ from repro.kernels.governors import (
     select_step_indices,
 )
 from repro.kernels.table import FrequencyTable
-from repro.latency.queueing import MG1Queue, MM1Queue
 from repro.workloads.base import WorkloadCharacteristics
 
 _OFF = int(NodeState.OFF)
@@ -286,76 +289,124 @@ def _sequential_selection(
 
 # -- queueing tails ---------------------------------------------------------------------
 
+# The p99 constants, spelled exactly as the scalar queue models compute
+# them: MG1Queue's ``1.0 - percentile / 100.0`` and MM1Queue's
+# ``-math.log(1.0 - percentile / 100.0)`` for percentile = 99.0.
+_P99_TAIL_PROBABILITY = 1.0 - 99.0 / 100.0
+_P99_MM1_FACTOR = -math.log(1.0 - 99.0 / 100.0)
 
-def _tail_latency(
+
+def tail_latencies(
     table: FrequencyTable,
     workload: WorkloadCharacteristics,
-    index: int,
-    demand_uips: float,
-) -> float:
-    """One loaded node's base p99 plus queueing-delay tail.
+    indices: np.ndarray,
+    demand_uips: np.ndarray,
+) -> np.ndarray:
+    """Closed-form p99 tails for a batch of (grid index, demand) pairs.
 
-    Scalar twin of ``FleetSimulator._node_tail_latency``: identical
-    branches, identical queueing-model calls, fed from the table's
-    columns instead of a record lookup.
+    Exact float twin of ``FleetSimulator._node_tail_latency``: the same
+    guards in the same order (NaN base latency, non-positive capacity,
+    saturation at ``1 - _STABILITY_EPSILON``), then the M/M/1 or
+    Marchal-corrected M/G/1 percentile with the scalar models'
+    expressions term for term.  The pairs are deduplicated with
+    ``np.unique`` so each distinct operating point is solved once --
+    the vectorized replacement for the old per-simulator memo dict.
+    The one transcendental term, ``log(rho / tail_probability)``, is
+    evaluated with ``math.log`` per *unique* pair because ``np.log``
+    is not bit-identical to ``math.log`` everywhere.
     """
-    base = float(table.latency_seconds[index])
-    if math.isnan(base):
-        return math.nan
-    capacity = float(table.capacity_uips[index])
-    if capacity <= 0.0:
-        return math.inf
-    utilization = demand_uips / capacity
-    if utilization >= 1.0 - _STABILITY_EPSILON:
-        return math.inf
-    instructions = workload.instructions_per_request
-    service_time = instructions / capacity
-    arrival_rate = demand_uips / instructions
-    cv = workload.service_time_cv
-    if cv == 1.0:
-        response_p99 = MM1Queue(
-            arrival_rate=arrival_rate, service_rate=capacity / instructions
-        ).response_time_percentile(99.0)
-    else:
-        response_p99 = MG1Queue(
-            arrival_rate=arrival_rate,
-            mean_service_time=service_time,
-            service_time_cv=cv,
-        ).response_time_percentile(99.0, corrected=True)
-    waiting_tail = max(0.0, response_p99 - service_time)
-    return base + waiting_tail
+    indices = np.asarray(indices, dtype=np.int64)
+    demand = np.asarray(demand_uips, dtype=np.float64)
+    if indices.size == 0:
+        return np.empty(0, dtype=np.float64)
+    # Injective (index, demand) -> complex encoding: a 1-D complex sort
+    # is far cheaper than np.unique(..., axis=0)'s void-dtype sort, and
+    # complex unique orders lexicographically (real, then imag), so the
+    # grouping is identical.  (+0.0/-0.0 demands would merge, but both
+    # produce bit-identical tails through every branch below.)
+    keys = indices.astype(np.float64) + 1j * demand
+    unique, inverse = np.unique(keys, return_inverse=True)
+    grid = unique.real.astype(np.int64)
+    unique_demand = unique.imag
+
+    base = table.latency_seconds[grid]
+    capacity = table.capacity_uips[grid]
+    positive = capacity > 0.0
+    utilization = np.where(
+        positive, unique_demand / np.where(positive, capacity, 1.0), np.inf
+    )
+    nan_base = np.isnan(base)
+    stable = positive & (utilization < 1.0 - _STABILITY_EPSILON) & ~nan_base
+
+    out = np.full(len(unique), np.inf, dtype=np.float64)
+    if np.any(stable):
+        s_capacity = capacity[stable]
+        s_demand = unique_demand[stable]
+        instructions = workload.instructions_per_request
+        service_time = instructions / s_capacity
+        arrival_rate = s_demand / instructions
+        cv = workload.service_time_cv
+        if cv == 1.0:
+            # MM1Queue: -log(tail) * 1 / (service_rate - arrival_rate).
+            service_rate = s_capacity / instructions
+            response_p99 = _P99_MM1_FACTOR * (
+                1.0 / (service_rate - arrival_rate)
+            )
+        else:
+            # MG1Queue, corrected percentile: P-K mean waiting time,
+            # idle atom below the tail probability, exponential tail
+            # above it.
+            rho = arrival_rate * service_time
+            cv_squared = cv * cv
+            mean_waiting = (rho * service_time * (1.0 + cv_squared)) / (
+                2.0 * (1.0 - rho)
+            )
+            waits = rho > _P99_TAIL_PROBABILITY
+            waiting_tail = np.zeros(len(rho), dtype=np.float64)
+            if np.any(waits):
+                ratios = rho[waits] / _P99_TAIL_PROBABILITY
+                logs = np.fromiter(
+                    (math.log(ratio) for ratio in ratios.tolist()),
+                    dtype=np.float64,
+                    count=len(ratios),
+                )
+                waiting_tail[waits] = (
+                    mean_waiting[waits] / rho[waits]
+                ) * logs
+            response_p99 = service_time + waiting_tail
+        out[stable] = base[stable] + np.maximum(
+            0.0, response_p99 - service_time
+        )
+    out[nan_base] = np.nan
+    return out[inverse]
 
 
 def _worst_tails(
     table: FrequencyTable,
     workload: WorkloadCharacteristics,
-    timeline: _StateTimeline,
+    serving2d: np.ndarray,
     shares2d: np.ndarray,
     idx2d: np.ndarray,
-    cache: Dict[Tuple[int, float], float],
 ) -> np.ndarray:
-    """Per step: the worst loaded node's tail, NaN when none is loaded."""
-    steps = shares2d.shape[1]
-    tails = np.full(steps, math.nan)
-    shares = shares2d.tolist()
-    indices = idx2d.tolist()
-    nominal_capacity = table.nominal_capacity_uips
-    for index in range(steps):
-        worst = math.nan
-        for node in timeline.serving_ids[index]:
-            share = shares[node][index]
-            if share <= 0.0:
-                continue
-            demand = share * nominal_capacity
-            key = (indices[node][index], demand)
-            value = cache.get(key)
-            if value is None:
-                value = _tail_latency(table, workload, key[0], demand)
-                cache[key] = value
-            if math.isnan(worst) or value > worst:
-                worst = value
-        tails[index] = worst
-    return tails
+    """Per step: the worst loaded node's tail, NaN when none is loaded.
+
+    Matches the reference loop's running-max semantics: NaN tails never
+    displace a finite worst, and a step with no loaded serving node (or
+    only NaN tails) stays NaN.
+    """
+    loaded = serving2d & (shares2d > 0.0)
+    tail2d = np.full(shares2d.shape, np.nan, dtype=np.float64)
+    tail2d[loaded] = tail_latencies(
+        table,
+        workload,
+        idx2d[loaded],
+        shares2d[loaded] * table.nominal_capacity_uips,
+    )
+    defined = ~np.isnan(tail2d)
+    candidates = np.where(defined, tail2d, -np.inf)
+    return np.where(
+        defined.any(axis=0), candidates.max(axis=0), np.nan
+    )
 
 
 # -- exact reductions -------------------------------------------------------------------
@@ -387,7 +438,6 @@ def fleet_replay_columns(
     off_power_w: float,
     trace: LoadTrace,
     use_queueing: bool,
-    tail_cache: Optional[Dict[Tuple[int, float], float]] = None,
 ) -> Tuple[Dict[str, np.ndarray], Dict[int, Dict[str, np.ndarray]]]:
     """One routing policy's fleet replay as (fleet, per-node) columns.
 
@@ -472,14 +522,7 @@ def fleet_replay_columns(
     node_violations = violation2d.sum(axis=0)
 
     if use_queueing:
-        tails = _worst_tails(
-            table,
-            workload,
-            timeline,
-            shares2d,
-            idx2d,
-            {} if tail_cache is None else tail_cache,
-        )
+        tails = _worst_tails(table, workload, serving2d, shares2d, idx2d)
         qos_limit = workload.qos_limit_seconds
         queue_ok = np.isnan(tails) | (tails <= qos_limit + 1e-12)
     else:

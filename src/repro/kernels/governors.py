@@ -146,6 +146,38 @@ def select_step_indices(
     return kernel(governor, table, utilization, demand_uips, previous_index)
 
 
+def select_batch_trace_indices(
+    governor: Governor, table: FrequencyTable, utilization2d: np.ndarray
+) -> np.ndarray:
+    """Grid indices for a ``(B, T)`` stack of single-server traces.
+
+    Row ``b`` is bit-identical to
+    ``select_trace_indices(governor, table, utilization2d[b])``: the
+    memoryless policies select the whole tensor in one kernel call,
+    and ``conservative`` walks the T axis once with all B rows
+    advancing one notch per step in parallel (the same float
+    comparisons as the scalar chain, batched across rows).
+    """
+    utilization2d = np.asarray(utilization2d, dtype=np.float64)
+    demand2d = utilization2d * table.nominal_capacity_uips
+    if is_memoryless_kernel(governor):
+        previous = np.full(
+            utilization2d.shape, table.nominal_index, dtype=np.int64
+        )
+        return select_step_indices(
+            governor, table, utilization2d, demand2d, previous
+        )
+    rows, steps = utilization2d.shape
+    out = np.empty((rows, steps), dtype=np.int64)
+    previous = np.full(rows, table.nominal_index, dtype=np.int64)
+    for step in range(steps):
+        previous = select_step_indices(
+            governor, table, utilization2d[:, step], demand2d[:, step], previous
+        )
+        out[:, step] = previous
+    return out
+
+
 def select_trace_indices(
     governor: Governor, table: FrequencyTable, utilization: np.ndarray
 ) -> np.ndarray:

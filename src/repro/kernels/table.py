@@ -230,14 +230,17 @@ class FrequencyTable:
         The vectorized twin of
         :meth:`~repro.dvfs.governors.PlatformView.lowest_covering`:
         identical comparisons against the tolerance-scaled capacities,
-        just evaluated for a whole demand array at once.
+        just evaluated for a whole demand array at once.  Accepts any
+        demand shape (a batched ``(B, T)`` tensor included) and returns
+        indices of the same shape.
         """
         demand = np.asarray(demand_uips, dtype=np.float64)
-        covers = self.covers_capacity_uips[np.newaxis, :] >= demand[:, np.newaxis]
+        flat = demand.reshape(-1)
+        covers = self.covers_capacity_uips[np.newaxis, :] >= flat[:, np.newaxis]
         if require_qos:
             covers = covers & self.qos_ok[np.newaxis, :]
         found = covers.any(axis=1)
-        return np.where(found, covers.argmax(axis=1), -1)
+        return np.where(found, covers.argmax(axis=1), -1).reshape(demand.shape)
 
     def frequencies(self) -> Tuple[float, ...]:
         """The grid as a plain tuple (PlatformView-compatible)."""

@@ -318,6 +318,95 @@ def fleet_replay(
     }
 
 
+def sweep_governor_grid(
+    spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
+) -> dict:
+    """Every governor against every registry trace, in one batch.
+
+    The cross product of the spec's governors (all registered ones when
+    it names none) and the registry's three time-varying traces
+    (``diurnal``, ``bursty``, ``bitbrains``) is stacked into a single
+    :class:`~repro.kernels.batch.BatchReplayRunner` call per scenario,
+    so the whole grid is evaluated as one ``(B, T)`` tensor pass
+    instead of B sequential replays.  The per-replay summaries are
+    bit-identical to what sequential :meth:`GovernorSimulator.replay`
+    calls produce, so the golden numbers double as an equivalence pin
+    for the batched engine.
+
+    Scalars are golden-pinned; the batch's wall-clock and
+    replays-per-second ride along under the private ``_batch_timing``
+    key (surfaced by ``--timing``, excluded from the goldens because
+    wall time is not deterministic).
+    """
+    import time
+
+    from repro.dvfs import GOVERNORS, load_trace_by_name
+    from repro.kernels.batch import BatchReplayRunner, ReplaySpec
+
+    trace_names = ("diurnal", "bursty", "bitbrains")
+    traces = {name: load_trace_by_name(name) for name in trace_names}
+    governor_names = spec.governors or tuple(GOVERNORS)
+    workloads = spec.workloads()
+
+    runner = BatchReplayRunner(context, frequencies=spec.frequency_grid_hz)
+    replay_specs = [
+        ReplaySpec(
+            workload=workload,
+            trace=traces[trace_name],
+            governor=governor,
+        )
+        for workload in workloads.values()
+        for trace_name in trace_names
+        for governor in governor_names
+    ]
+    started = time.perf_counter()
+    batch = runner.run(replay_specs)
+    summaries = batch.summaries()
+    wall_s = time.perf_counter() - started
+
+    replays: Dict[str, dict] = {}
+    best: Dict[str, dict] = {}
+    position = 0
+    for name in workloads:
+        replays[name] = {}
+        best[name] = {}
+        for trace_name in trace_names:
+            per_governor = {}
+            for governor in governor_names:
+                per_governor[governor] = summaries[position]
+                position += 1
+            replays[name][trace_name] = per_governor
+            clean = {
+                governor: summary
+                for governor, summary in per_governor.items()
+                if summary["violation_count"] == 0
+            }
+            best[name][trace_name] = (
+                min(
+                    clean,
+                    key=lambda governor: clean[governor]["total_energy_j"],
+                )
+                if clean
+                else None
+            )
+    return {
+        "traces": {name: trace.summary() for name, trace in traces.items()},
+        "governors": list(governor_names),
+        "batch_size": len(batch),
+        "batched_replays": batch.batched_count,
+        "fallback_replays": batch.fallback_count,
+        "replays": replays,
+        "best_governor_at_zero_violations": best,
+        "_batch_timing": {
+            "batch_size": len(batch),
+            "wall_s": wall_s,
+            "replays_per_s": (
+                len(batch) / wall_s if wall_s > 0 else None
+            ),
+        },
+    }
+
+
 ANALYSES: Dict[str, AnalysisFn] = {
     "qos_floors": qos_floors,
     "efficiency_optima": efficiency_optima,
@@ -328,5 +417,6 @@ ANALYSES: Dict[str, AnalysisFn] = {
     "consolidation": consolidation,
     "dvfs_replay": dvfs_replay,
     "fleet_replay": fleet_replay,
+    "sweep_governor_grid": sweep_governor_grid,
 }
 """Registry of derived analyses, keyed by the name specs declare."""

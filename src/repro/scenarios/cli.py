@@ -208,6 +208,14 @@ def _render(
                 f"\ntiming: {timing['wall_s']:.3f} s wall, "
                 f"{timing['evaluated_points']} evaluated points"
             )
+            if "batch_size" in timing:
+                rendered += (
+                    f", batch of {timing['batch_size']} replays"
+                )
+                if timing.get("replays_per_s") is not None:
+                    rendered += (
+                        f" ({timing['replays_per_s']:.0f} replays/s)"
+                    )
         return rendered
     if fmt == "csv":
         return _render_csv(result)
@@ -218,20 +226,63 @@ def _render(
 
 
 def _render_timing_summary(rows: List[Tuple[str, Dict[str, object]]]) -> str:
-    """One aligned table of wall time and evaluated points per scenario."""
+    """One aligned table of wall time and evaluated points per scenario.
+
+    Scenarios that ran a batched replay engine also report the batch
+    size and the replays/second throughput; the columns show ``-`` for
+    scenarios without a batched analysis.
+    """
     from repro.utils.tables import format_table
 
+    def _batch_cells(timing: Dict[str, object]) -> Tuple[object, object]:
+        if "batch_size" not in timing:
+            return "-", "-"
+        rate = timing.get("replays_per_s")
+        return (
+            timing["batch_size"],
+            "-" if rate is None else f"{rate:.0f}",
+        )
+
     return format_table(
-        ("scenario", "wall (s)", "evaluated points"),
+        ("scenario", "wall (s)", "evaluated points", "batch", "replays/s"),
         [
             (
                 name,
                 f"{timing['wall_s']:.3f}",
                 timing["evaluated_points"],
             )
+            + _batch_cells(timing)
             for name, timing in rows
         ],
     )
+
+
+def _batch_timing(result: ScenarioResult) -> Dict[str, object] | None:
+    """Aggregate the batched analyses' private timing, if any ran.
+
+    Sums batch sizes and wall time across every analysis that reports
+    a ``_batch_timing`` block (timing is additive; the throughput is
+    recomputed from the totals).  Returns ``None`` when no analysis
+    used the batched engine.
+    """
+    total = 0
+    wall = 0.0
+    found = False
+    for extra in result.extras.values():
+        if not isinstance(extra, dict):
+            continue
+        info = extra.get("_batch_timing")
+        if not isinstance(info, dict):
+            continue
+        found = True
+        total += int(info.get("batch_size", 0))
+        wall += float(info.get("wall_s", 0.0))
+    if not found:
+        return None
+    return {
+        "batch_size": total,
+        "replays_per_s": total / wall if wall > 0 else None,
+    }
 
 
 def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
@@ -265,6 +316,9 @@ def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
                 "wall_s": time.perf_counter() - started,
                 "evaluated_points": result.context.evaluated_points,
             }
+            batch_info = _batch_timing(result)
+            if batch_info is not None:
+                timing.update(batch_info)
             timing_rows.append((result.spec.name, timing))
         rendered = _render(result, args.format, args.sweep, timing)
         if args.output is not None:

@@ -261,6 +261,22 @@ def _builtin_specs() -> List[ScenarioSpec]:
             ),
         ),
         ScenarioSpec(
+            name="sweep_governor_grid",
+            title="Batched governor x trace grid over Web Search",
+            workload_set=SCALE_OUT,
+            workload_names=("Web Search",),
+            analyses=("sweep_governor_grid",),
+            notes=(
+                "Every registered DVFS governor against all three "
+                "time-varying registry traces (diurnal, bursty, "
+                "Bitbrains), evaluated as one batched (B, T) tensor "
+                "pass through the repro.kernels.batch engine; the "
+                "golden scalars double as an equivalence pin because "
+                "the batched summaries are bit-identical to sequential "
+                "single-replay calls."
+            ),
+        ),
+        ScenarioSpec(
             name="colocation_mixed",
             title="Mixed scale-out + VM colocation sweep (beyond the paper)",
             workload_set=ALL_WORKLOADS,

@@ -8,6 +8,9 @@ dropped-load violations and all.  Equality is ``np.array_equal`` on
 the raw arrays; no tolerances.
 """
 
+import dataclasses
+import math
+
 import numpy as np
 import pytest
 
@@ -16,7 +19,9 @@ from repro.fleet import ROUTERS, Autoscaler, FleetSimulator
 from repro.fleet.result import FLEET_COLUMNS, NODE_COLUMNS
 from repro.fleet.routing import SpreadRouting
 from repro.kernels import fleet_kernel_supports
-from repro.kernels.fleet import supports
+from repro.kernels.fleet import supports, tail_latencies
+from repro.kernels.table import FrequencyTable
+from repro.latency.queueing import MG1Queue, MM1Queue
 from repro.workloads.banking_vm import VMS_HIGH_MEM
 from repro.workloads.cloudsuite import WEB_SEARCH
 
@@ -103,13 +108,18 @@ def test_compare_supports_reference_flag(default_context, short_bursty):
         assert_fleets_bit_identical(kernel[name], reference[name])
 
 
-def test_tail_cache_is_shared_without_drift(default_context, short_bursty):
-    """Repeated kernel runs reuse the tail memo and stay identical."""
+def test_repeated_runs_are_stateless_and_identical(
+    default_context, short_bursty
+):
+    """The closed-form tail kernel keeps no per-simulator state."""
     simulator = FleetSimulator(
         default_context, WEB_SEARCH, fleet_size=3, autoscaler=Autoscaler()
     )
     first = simulator.run(short_bursty, "pack")
-    assert simulator._tail_cache  # the memo filled up
+    # The old (index, demand) memo dict is gone: tails come from the
+    # stateless vectorized kernel, so nothing accumulates on the
+    # simulator and repeated runs are bit-identical by construction.
+    assert not hasattr(simulator, "_tail_cache")
     second = simulator.run(short_bursty, "pack")
     assert_fleets_bit_identical(first, second)
 
@@ -160,41 +170,6 @@ def test_saturating_bursts_hit_the_queueing_tail_branches(
 
 
 # -- private kernel branches the simulators cannot reach --------------------------------
-
-
-def test_tail_latency_branches():
-    import math
-
-    from repro.kernels.fleet import _tail_latency
-    from repro.kernels.table import FrequencyTable
-
-    table = FrequencyTable(
-        workload_name="probe",
-        frequencies_hz=[1.0e9, 2.0e9],
-        capacity_uips=[0.0, 1.0e9],
-        power_w=[10.0, 20.0],
-        qos_metric=[math.nan, math.nan],
-        qos_ok=[True, True],
-        latency_seconds=[math.nan, 0.001],
-    )
-    # NaN base latency (VM workloads) -> NaN tail.
-    assert math.isnan(_tail_latency(table, WEB_SEARCH, 0, 1.0))
-    table_with_base = FrequencyTable(
-        workload_name="probe",
-        frequencies_hz=[1.0e9, 2.0e9],
-        capacity_uips=[0.0, 1.0e9],
-        power_w=[10.0, 20.0],
-        qos_metric=[0.5, 0.5],
-        qos_ok=[True, True],
-        latency_seconds=[0.001, 0.001],
-    )
-    # Zero capacity -> saturated.
-    assert _tail_latency(table_with_base, WEB_SEARCH, 0, 1.0) == math.inf
-    # Demand at capacity -> saturated.
-    assert _tail_latency(table_with_base, WEB_SEARCH, 1, 1.0e9) == math.inf
-    # Lightly loaded -> base plus a finite waiting tail.
-    light = _tail_latency(table_with_base, WEB_SEARCH, 1, 1.0e8)
-    assert 0.001 < light < math.inf
 
 
 def test_least_loaded_zero_capacity_falls_back_to_even_split():
@@ -279,3 +254,112 @@ def test_custom_autoscaler_subclass_takes_the_reference_path(default_context):
     np.testing.assert_array_equal(
         first.column("energy_j"), second.column("energy_j")
     )
+
+
+# -- closed-form tail kernel vs the scalar queue models ---------------------------------
+
+
+def _scalar_tail(table, workload, index, demand):
+    """FleetSimulator._node_tail_latency transcribed onto table columns.
+
+    The same guards in the same order, and the *actual*
+    :class:`MM1Queue` / :class:`MG1Queue` objects for the formula --
+    the reference the vectorized kernel must match to the last bit.
+    """
+    base = float(table.latency_seconds[index])
+    if math.isnan(base):
+        return math.nan
+    capacity = float(table.capacity_uips[index])
+    if capacity <= 0.0:
+        return math.inf
+    utilization = demand / capacity
+    if utilization >= 1.0 - 1e-9:
+        return math.inf
+    ipr = workload.instructions_per_request
+    service_time = ipr / capacity
+    arrival_rate = demand / ipr
+    if workload.service_time_cv == 1.0:
+        response_p99 = MM1Queue(
+            arrival_rate=arrival_rate, service_rate=capacity / ipr
+        ).response_time_percentile(99.0)
+    else:
+        response_p99 = MG1Queue(
+            arrival_rate=arrival_rate,
+            mean_service_time=service_time,
+            service_time_cv=workload.service_time_cv,
+        ).response_time_percentile(99.0, corrected=True)
+    return base + max(0.0, response_p99 - service_time)
+
+
+def _assert_tails_exactly_equal(table, workload, indices, demand):
+    got = tail_latencies(table, workload, indices, demand)
+    for index, one_demand, value in zip(
+        indices.tolist(), demand.tolist(), got.tolist()
+    ):
+        expected = _scalar_tail(table, workload, index, one_demand)
+        assert value == expected or (
+            math.isnan(value) and math.isnan(expected)
+        ), (
+            f"tail at (index={index}, demand={one_demand}): "
+            f"kernel {value!r} != scalar {expected!r}"
+        )
+
+
+def test_mg1_tails_equal_scalar_queue_math(default_context):
+    """Web Search (cv=1.2): the Marchal-corrected M/G/1 path, exactly."""
+    table = default_context.frequency_table(WEB_SEARCH)
+    rng = np.random.default_rng(7)
+    indices = rng.integers(0, len(table), size=500)
+    # Load fractions spanning idle, the idle-atom region, heavy load
+    # and saturation (>= 1 - epsilon maps to +inf in both paths).
+    fraction = rng.uniform(0.0, 1.2, size=500)
+    demand = fraction * table.capacity_uips[indices]
+    _assert_tails_exactly_equal(table, WEB_SEARCH, indices, demand)
+
+
+def test_mm1_tails_equal_scalar_queue_math(default_context):
+    """A cv=1.0 twin of Web Search drives the exact M/M/1 branch."""
+    workload = dataclasses.replace(WEB_SEARCH, service_time_cv=1.0)
+    table = default_context.frequency_table(WEB_SEARCH)
+    rng = np.random.default_rng(11)
+    indices = rng.integers(0, len(table), size=300)
+    # Strictly positive, strictly stable loads: the scalar MM1Queue
+    # constructor rejects arrival >= service, so the comparison runs
+    # where both paths are defined.
+    fraction = rng.uniform(0.05, 0.95, size=300)
+    demand = fraction * table.capacity_uips[indices]
+    _assert_tails_exactly_equal(table, workload, indices, demand)
+
+
+def test_tail_guards_nan_base_and_zero_capacity():
+    """NaN base latency wins over every other guard; 0 capacity is inf."""
+    table = FrequencyTable(
+        workload_name="synthetic",
+        frequencies_hz=[1.0e9, 2.0e9, 3.0e9],
+        capacity_uips=[0.0, 1.0e9, 2.0e9],
+        power_w=[10.0, 20.0, 30.0],
+        qos_metric=[np.nan, 1.0, 1.0],
+        qos_ok=[True, True, True],
+        latency_seconds=[0.01, np.nan, 0.005],
+    )
+    indices = np.array([0, 1, 2, 2])
+    demand = np.array([0.5e9, 0.5e9, 0.4e9, 3.0e9])
+    tails = tail_latencies(table, WEB_SEARCH, indices, demand)
+    assert math.isinf(tails[0])  # zero capacity saturates
+    assert math.isnan(tails[1])  # NaN base latency stays undefined
+    assert math.isfinite(tails[2])
+    assert math.isinf(tails[3])  # demand beyond capacity saturates
+    _assert_tails_exactly_equal(table, WEB_SEARCH, indices, demand)
+
+
+def test_tail_deduplication_preserves_order_and_values(default_context):
+    """Repeated (index, demand) pairs scatter back to their positions."""
+    table = default_context.frequency_table(WEB_SEARCH)
+    capacity = float(table.capacity_uips[-1])
+    indices = np.array([3, 1, 3, 1, 3, 2])
+    demand = capacity * np.array([0.4, 0.4, 0.4, 0.6, 0.7, 0.4])
+    tails = tail_latencies(table, WEB_SEARCH, indices, demand)
+    assert tails[0] == tails[2]  # identical pairs, identical tails
+    assert tails[0] != tails[4]  # same index, different demand
+    _assert_tails_exactly_equal(table, WEB_SEARCH, indices, demand)
+    assert tail_latencies(table, WEB_SEARCH, [], []).size == 0

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.core.config import default_server
+from repro.dvfs import GOVERNORS, GovernorSimulator, load_trace_by_name
 from repro.scenarios import (
     ALL_WORKLOADS,
     ANALYSES,
@@ -100,6 +101,7 @@ def test_registry_has_required_scenarios():
         "ablation_memory_tech",
         "consolidation_oversubscribe",
         "colocation_mixed",
+        "sweep_governor_grid",
     }
     assert required <= set(scenario_names())
     assert len(REGISTRY) >= 8
@@ -353,6 +355,119 @@ def test_cli_run_without_timing_has_no_timing_output(tmp_path, capsys):
     )
     assert "timing" not in json.loads(output.read_text())
     assert "wall (s)" not in capsys.readouterr().out
+
+
+# -- batched governor grid scenario -----------------------------------------------------
+
+
+def _grid_batch_size() -> int:
+    # One workload x three registry traces x every registered governor.
+    return 3 * len(GOVERNORS)
+
+
+def test_sweep_governor_grid_matches_sequential_replays(scenario_results):
+    """The batched grid's summaries equal sequential simulator replays."""
+    result = scenario_results("sweep_governor_grid")
+    extras = result.extras["sweep_governor_grid"]
+    assert extras["batch_size"] == _grid_batch_size()
+    assert extras["batched_replays"] == _grid_batch_size()
+    assert extras["fallback_replays"] == 0
+    assert set(extras["governors"]) == set(GOVERNORS)
+    spec = get_scenario("sweep_governor_grid")
+    for name, workload in spec.workloads().items():
+        simulator = GovernorSimulator(
+            result.context, workload, frequencies=spec.frequency_grid_hz
+        )
+        by_trace = extras["replays"][name]
+        assert set(by_trace) == {"diurnal", "bursty", "bitbrains"}
+        for trace_name, per_governor in by_trace.items():
+            trace = load_trace_by_name(trace_name)
+            for governor, summary in per_governor.items():
+                assert summary == simulator.replay(trace, governor).summary()
+
+
+def test_sweep_governor_grid_picks_best_governor(scenario_results):
+    extras = scenario_results("sweep_governor_grid").extras[
+        "sweep_governor_grid"
+    ]
+    for by_trace in extras["best_governor_at_zero_violations"].values():
+        for trace_name, best in by_trace.items():
+            per_governor = extras["replays"]["Web Search"][trace_name]
+            if best is None:
+                assert all(
+                    summary["violation_count"] > 0
+                    for summary in per_governor.values()
+                )
+                continue
+            winner = per_governor[best]
+            assert winner["violation_count"] == 0
+            assert all(
+                winner["total_energy_j"] <= summary["total_energy_j"]
+                for summary in per_governor.values()
+                if summary["violation_count"] == 0
+            )
+
+
+def test_cli_run_batched_scenario_reports_throughput(capsys):
+    assert cli_main(["run", "sweep_governor_grid", "--timing"]) == 0
+    out = capsys.readouterr().out
+    assert f"batch of {_grid_batch_size()} replays" in out
+    assert "replays/s" in out
+    # The summary table grows batch columns alongside the old ones.
+    assert "batch" in out
+    assert "wall (s)" in out
+    assert "evaluated points" in out
+
+
+def test_cli_run_batched_scenario_timing_json(tmp_path, capsys):
+    output = tmp_path / "grid.json"
+    assert (
+        cli_main(
+            [
+                "run",
+                "sweep_governor_grid",
+                "--format",
+                "json",
+                "--timing",
+                "--output",
+                str(output),
+            ]
+        )
+        == 0
+    )
+    data = json.loads(output.read_text())
+    assert data["timing"]["batch_size"] == _grid_batch_size()
+    assert data["timing"]["replays_per_s"] > 0
+    assert data["timing"]["wall_s"] > 0
+    capsys.readouterr()
+
+
+def test_cli_timing_shows_dashes_for_unbatched_scenarios(tmp_path, capsys):
+    # A scenario without a batched analysis: no batch keys in JSON...
+    output = tmp_path / "untimed.json"
+    assert (
+        cli_main(
+            [
+                "run",
+                "table1_ddr4",
+                "--format",
+                "json",
+                "--timing",
+                "--output",
+                str(output),
+            ]
+        )
+        == 0
+    )
+    assert "batch_size" not in json.loads(output.read_text())["timing"]
+    # ...and dash cells in the shared timing summary table.
+    out = capsys.readouterr().out
+    rows = [
+        line
+        for line in out.splitlines()
+        if line.startswith("table1_ddr4")
+    ]
+    assert rows and all("-" in row for row in rows)
 
 
 # -- fleet spec fields ------------------------------------------------------------------
