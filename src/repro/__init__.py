@@ -30,6 +30,7 @@ Sub-packages
 ``repro.sweep``       batched sweep engine over a shared model context
 ``repro.dvfs``        load traces and DVFS governor replay
 ``repro.fleet``       multi-server fleets: routing, autoscaling, economics
+``repro.opt``         policy auto-tuner: grid / successive-halving search
 ``repro.scenarios``   declarative scenario registry, runner and CLI
 ``repro.analysis``    figure/table data builders, paper-claim validation
 """

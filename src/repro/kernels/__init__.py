@@ -33,6 +33,7 @@ from repro.kernels.batch import (
     FleetReplayBatch,
     GovernorReplayBatch,
     ReplaySpec,
+    unique_specs,
 )
 from repro.kernels.fleet import fleet_replay_columns, tail_latencies
 from repro.kernels.fleet import supports as fleet_kernel_supports
@@ -62,4 +63,5 @@ __all__ = [
     "select_step_indices",
     "select_trace_indices",
     "tail_latencies",
+    "unique_specs",
 ]

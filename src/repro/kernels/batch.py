@@ -136,6 +136,35 @@ class ReplaySpec:
         return self.fleet_size is not None
 
 
+def unique_specs(
+    specs: Sequence[ReplaySpec],
+) -> Tuple[List[ReplaySpec], List[int]]:
+    """Deduplicate a spec list, preserving first-seen order.
+
+    Distinct parameter combinations can materialise into identical
+    replays -- a pack fill fraction under a non-pack routing, a wake
+    latency on a fleet that never autoscales -- and evaluating the
+    duplicates would only repeat work.  Returns ``(unique, index_map)``
+    where ``unique`` keeps the first occurrence of each spec and
+    ``index_map[i]`` is the row in ``unique`` that position ``i`` of
+    the input maps to, so callers can scatter batched summaries back to
+    their original positions.  Specs compare by value
+    (:class:`ReplaySpec` is a frozen dataclass), so two equal specs are
+    guaranteed to replay identically.
+    """
+    unique: List[ReplaySpec] = []
+    index_map: List[int] = []
+    rows: Dict[ReplaySpec, int] = {}
+    for spec in specs:
+        row = rows.get(spec)
+        if row is None:
+            row = len(unique)
+            rows[spec] = row
+            unique.append(spec)
+        index_map.append(row)
+    return unique, index_map
+
+
 # -- shared padding helpers -------------------------------------------------------------
 
 

@@ -1,0 +1,142 @@
+"""Deterministic search strategies over a policy space.
+
+Both strategies are pure drivers of an ``evaluate`` callback (supplied
+by :class:`~repro.opt.tuner.PolicyTuner`) that turns a batch of configs
+into :class:`~repro.opt.result.Trial` records via one batched-engine
+pass.  :class:`GridSearch` evaluates the whole space at full trace
+length; :class:`SuccessiveHalving` spends most of its budget on short
+trace prefixes, promoting only the top ``keep_fraction`` of each rung
+to the next (longer) prefix, and evaluates only the last survivors at
+full length.  Replays are causal, so a config's prefix behaviour is
+exactly the first ``k`` steps of its full-length behaviour -- the cheap
+rungs are unbiased previews, not approximations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.opt.result import Trial, trial_rank_key
+from repro.opt.space import PolicyConfig
+
+Evaluate = Callable[[Sequence[PolicyConfig], Optional[int], int], List[Trial]]
+"""``evaluate(configs, steps, rung)``; ``steps=None`` = full trace."""
+
+
+@dataclass(frozen=True)
+class GridSearch:
+    """Exhaustively evaluate every config at full trace length."""
+
+    name = "grid"
+
+    def run(
+        self,
+        evaluate: Evaluate,
+        configs: Sequence[PolicyConfig],
+        full_steps: int,
+    ) -> List[Trial]:
+        return evaluate(configs, None, 0)
+
+
+@dataclass(frozen=True)
+class SuccessiveHalving:
+    """Prefix-based successive halving.
+
+    Rung ``r`` evaluates the surviving configs on trace prefix
+    ``prefix_steps[r]``; the top ``keep_fraction`` (ranked by
+    :func:`~repro.opt.result.trial_rank_key`, ties broken by canonical
+    config key -- submission order never matters) survive to the next
+    rung.  The final rung always runs at full trace length, so the
+    reported optimum is judged on exactly the same evidence grid search
+    would use.  Survivor sets preserve enumeration order, which makes
+    ``keep_fraction=1.0`` reproduce exhaustive grid search trial for
+    trial on the final rung.
+    """
+
+    keep_fraction: float = 0.5
+    prefix_steps: Tuple[int, ...] = ()
+
+    name = "halving"
+
+    def __post_init__(self) -> None:
+        if not (
+            isinstance(self.keep_fraction, float)
+            and math.isfinite(self.keep_fraction)
+            and 0.0 < self.keep_fraction <= 1.0
+        ):
+            raise ValueError(
+                f"successive halving: keep fraction must be a finite float in "
+                f"(0, 1], got {self.keep_fraction!r}"
+            )
+        for steps in self.prefix_steps:
+            if not isinstance(steps, int) or steps < 1:
+                raise ValueError(
+                    f"successive halving: prefix steps must be integers >= 1, "
+                    f"got {steps!r}"
+                )
+        if any(
+            later <= earlier
+            for earlier, later in zip(self.prefix_steps, self.prefix_steps[1:])
+        ):
+            raise ValueError(
+                f"successive halving: prefix steps must be strictly "
+                f"increasing, got {self.prefix_steps}"
+            )
+
+    def schedule(self, full_steps: int) -> Tuple[Optional[int], ...]:
+        """Per-rung prefix lengths; the ``None`` tail is the full trace."""
+        prefixes = self.prefix_steps
+        if not prefixes:
+            # Default geometric schedule: quarter then half trace.
+            prefixes = tuple(
+                sorted({max(1, full_steps // 4), max(1, full_steps // 2)})
+            )
+            prefixes = tuple(p for p in prefixes if p < full_steps)
+        else:
+            for steps in prefixes:
+                if steps >= full_steps:
+                    raise ValueError(
+                        f"successive halving: prefix of {steps} steps is not "
+                        f"shorter than the {full_steps}-step trace"
+                    )
+        return prefixes + (None,)
+
+    def run(
+        self,
+        evaluate: Evaluate,
+        configs: Sequence[PolicyConfig],
+        full_steps: int,
+    ) -> List[Trial]:
+        schedule = self.schedule(full_steps)
+        survivors: List[PolicyConfig] = list(configs)
+        trials: List[Trial] = []
+        for rung, steps in enumerate(schedule):
+            rung_trials = evaluate(survivors, steps, rung)
+            trials.extend(rung_trials)
+            if steps is None:
+                break
+            keep = max(
+                1, math.ceil(self.keep_fraction * len(rung_trials))
+            )
+            ranked = sorted(
+                range(len(rung_trials)),
+                key=lambda i: trial_rank_key(rung_trials[i]),
+            )
+            kept = set(ranked[:keep])
+            # Stable filter: survivors stay in enumeration order so the
+            # trial stream is a deterministic function of the space.
+            survivors = [
+                rung_trials[i].config
+                for i in range(len(rung_trials))
+                if i in kept
+            ]
+        return trials
+
+
+STRATEGIES = {
+    "grid": GridSearch,
+    "halving": SuccessiveHalving,
+}
+"""Strategy name -> class, mirroring GOVERNORS / ROUTERS registries."""

@@ -318,6 +318,67 @@ def fleet_replay(
     }
 
 
+def policy_opt(
+    spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
+) -> dict:
+    """Policy auto-tune against cost-per-QPS-at-QoS (the optimizer).
+
+    Searches the spec's ``opt_*`` parameter space -- fleet size,
+    governor, routing, pack fill fraction, autoscaler band and wake
+    latency -- with the spec's strategy (exhaustive ``grid`` or
+    prefix-based ``halving``), using the batched replay engine as the
+    evaluation backend on the scenario's shared context.  Per workload,
+    the golden-pinned block is :meth:`~repro.opt.result.OptResult.as_dict`:
+    the deduplicated space, evaluation counters, the best config under
+    the deterministic total order, and the energy-vs-QoS Pareto
+    frontier.  The full trials table rides along under the private
+    ``_trials`` key (rendered by the CLI, excluded from the goldens),
+    and the batch throughput under ``_batch_timing`` (surfaced by
+    ``--timing``; wall time is not deterministic).
+    """
+    from repro.dvfs import load_trace_by_name
+    from repro.opt import PolicyTuner
+
+    if spec.load_trace is None:
+        raise ValueError(
+            f"scenario {spec.name!r}: the policy_opt analysis needs "
+            "load_trace to be set"
+        )
+    trace = load_trace_by_name(spec.load_trace)
+    space = spec.opt_param_space()
+
+    optimization: Dict[str, dict] = {}
+    best: Dict[str, object] = {}
+    trials: Dict[str, list] = {}
+    evaluations = 0
+    wall_s = 0.0
+    for name, workload in spec.workloads().items():
+        tuner = PolicyTuner(
+            context, workload, trace, frequencies=spec.frequency_grid_hz
+        )
+        result = tuner.tune(space, spec.opt_strategy_instance())
+        optimization[name] = result.as_dict()
+        best[name] = result.best_config.label()
+        trials[name] = result.trial_dicts()
+        evaluations += result.evaluations
+        wall_s += result.wall_s
+    return {
+        "trace": trace.summary(),
+        "strategy": spec.opt_strategy,
+        "space": space.summary(),
+        "optimization": optimization,
+        "best_config": best,
+        "_trials": trials,
+        "_batch_timing": {
+            "batch_size": evaluations,
+            "wall_s": wall_s,
+            "replays_per_s": (
+                evaluations / wall_s if wall_s > 0 else None
+            ),
+        },
+    }
+
+
 def sweep_governor_grid(
     spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
 ) -> dict:
@@ -418,5 +479,6 @@ ANALYSES: Dict[str, AnalysisFn] = {
     "dvfs_replay": dvfs_replay,
     "fleet_replay": fleet_replay,
     "sweep_governor_grid": sweep_governor_grid,
+    "policy_opt": policy_opt,
 }
 """Registry of derived analyses, keyed by the name specs declare."""

@@ -166,6 +166,53 @@ def _render_fleet_steps(extras: dict) -> List[str]:
     return lines
 
 
+def _render_opt_trials(extras: dict) -> List[str]:
+    """Per-workload trials tables of a ``policy_opt`` analysis."""
+    from repro.utils.tables import format_table
+
+    trials = extras.get("policy_opt", {}).get("_trials", {})
+    lines: List[str] = []
+    for workload, rows in trials.items():
+        lines.append("")
+        lines.append(f"policy trials: {workload}")
+        lines.append(
+            format_table(
+                (
+                    "trial",
+                    "rung",
+                    "steps",
+                    "config",
+                    "viol",
+                    "mJ/req",
+                    "$/QPS-yr",
+                    "",
+                ),
+                [
+                    (
+                        row["trial"],
+                        row["rung"],
+                        row["steps"],
+                        row["label"],
+                        row["violation_count"],
+                        (
+                            "-"
+                            if row["energy_per_request_j"] is None
+                            else f"{row['energy_per_request_j'] * 1e3:.2f}"
+                        ),
+                        (
+                            "-"
+                            if row["cost_per_qps_year"] is None
+                            else f"{row['cost_per_qps_year']:.4f}"
+                        ),
+                        "best" if row["best"] else "",
+                    )
+                    for row in rows
+                ],
+            )
+        )
+    return lines
+
+
 def _render_table(result: ScenarioResult) -> str:
     from repro.core.report import render_summary
 
@@ -183,6 +230,7 @@ def _render_table(result: ScenarioResult) -> str:
         lines.append(json.dumps(_public_tree(result.extras), indent=2, sort_keys=True))
         lines.extend(_render_replay_steps(result.extras))
         lines.extend(_render_fleet_steps(result.extras))
+        lines.extend(_render_opt_trials(result.extras))
     return "\n".join(lines)
 
 

@@ -118,6 +118,22 @@ class ScenarioSpec:
         Whether the fleet replay scales servers on/off against the
         default :class:`~repro.fleet.autoscaler.Autoscaler` band
         (``False`` keeps the whole fleet awake).
+    opt_strategy:
+        Search strategy name for the ``policy_opt`` analysis
+        (:data:`repro.opt.strategies.STRATEGIES`: ``grid`` or
+        ``halving``).
+    opt_fleet_sizes / opt_governors / opt_routings /
+    opt_fill_fractions / opt_bands / opt_wake_steps:
+        Dimensions of the ``policy_opt`` parameter space (see
+        :class:`repro.opt.space.ParamSpace`); an empty dimension keeps
+        the space's default (``opt_fleet_sizes`` falls back to
+        ``(fleet_size,)`` when that is set).  ``opt_bands`` entries are
+        ``(low, high)`` utilisation pairs, with ``None`` meaning the
+        static never-autoscaled fleet.
+    opt_keep_fraction / opt_prefix_steps:
+        Successive-halving knobs: the surviving fraction per rung and
+        the trace-prefix lengths of the cheap rungs (only meaningful
+        with ``opt_strategy="halving"``).
     analyses:
         Names of derived analyses (see
         :data:`repro.scenarios.analyses.ANALYSES`) computed from the
@@ -150,6 +166,15 @@ class ScenarioSpec:
     fleet_routings: Tuple[str, ...] = ()
     fleet_governor: str = "qos_tracker"
     fleet_autoscale: bool = True
+    opt_strategy: str = "grid"
+    opt_fleet_sizes: Tuple[int, ...] = ()
+    opt_governors: Tuple[str, ...] = ()
+    opt_routings: Tuple[str, ...] = ()
+    opt_fill_fractions: Tuple[float, ...] = ()
+    opt_bands: Tuple[Tuple[float, float] | None, ...] = ()
+    opt_wake_steps: Tuple[int, ...] = ()
+    opt_keep_fraction: float = 0.5
+    opt_prefix_steps: Tuple[int, ...] = ()
     analyses: Tuple[str, ...] = ()
     base_configuration: ServerConfiguration | None = None
     notes: str = ""
@@ -287,6 +312,22 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: unknown fleet governor "
                 f"{self.fleet_governor!r}; known governors: {known}"
             )
+        # Optimizer knobs are validated by the repro.opt package itself
+        # (the space and strategy constructors carry the precise
+        # errors); imported here to keep module import order acyclic.
+        from repro.opt.strategies import STRATEGIES
+
+        if self.opt_strategy not in STRATEGIES:
+            known = ", ".join(STRATEGIES)
+            raise ValueError(
+                f"scenario {self.name!r}: unknown opt strategy "
+                f"{self.opt_strategy!r}; known strategies: {known}"
+            )
+        try:
+            self.opt_param_space()
+            self.opt_strategy_instance()
+        except ValueError as error:
+            raise ValueError(f"scenario {self.name!r}: {error}") from None
         # Analysis names are validated against the analysis registry;
         # imported here to keep module import order acyclic.
         from repro.scenarios.analyses import ANALYSES
@@ -314,6 +355,11 @@ class ScenarioSpec:
                     f"scenario {self.name!r}: the fleet_replay analysis "
                     "needs fleet_size to be set"
                 )
+        if "policy_opt" in self.analyses and self.load_trace is None:
+            raise ValueError(
+                f"scenario {self.name!r}: the policy_opt analysis needs "
+                "load_trace to be set"
+            )
 
     # -- resolution -----------------------------------------------------------------
 
@@ -356,6 +402,45 @@ class ScenarioSpec:
                 configuration, frequency_grid=tuple(self.frequency_grid_hz)
             )
         return configuration
+
+    def opt_param_space(self):
+        """The ``policy_opt`` parameter space as a validated ParamSpace.
+
+        Empty ``opt_*`` dimensions keep the
+        :class:`~repro.opt.space.ParamSpace` defaults, except that
+        ``opt_fleet_sizes`` falls back to ``(fleet_size,)`` when the
+        scenario sets one, so a fleet scenario tunes the fleet it
+        replays.
+        """
+        from repro.opt.space import ParamSpace
+
+        kwargs: Dict[str, tuple] = {}
+        if self.opt_fleet_sizes:
+            kwargs["fleet_sizes"] = self.opt_fleet_sizes
+        elif self.fleet_size is not None:
+            kwargs["fleet_sizes"] = (self.fleet_size,)
+        if self.opt_governors:
+            kwargs["governors"] = self.opt_governors
+        if self.opt_routings:
+            kwargs["routings"] = self.opt_routings
+        if self.opt_fill_fractions:
+            kwargs["fill_fractions"] = self.opt_fill_fractions
+        if self.opt_bands:
+            kwargs["bands"] = self.opt_bands
+        if self.opt_wake_steps:
+            kwargs["wake_steps"] = self.opt_wake_steps
+        return ParamSpace(**kwargs)
+
+    def opt_strategy_instance(self):
+        """The ``policy_opt`` strategy, constructed with its knobs."""
+        from repro.opt.strategies import GridSearch, SuccessiveHalving
+
+        if self.opt_strategy == "halving":
+            return SuccessiveHalving(
+                keep_fraction=self.opt_keep_fraction,
+                prefix_steps=self.opt_prefix_steps,
+            )
+        return GridSearch()
 
     @property
     def scope(self) -> EfficiencyScope:

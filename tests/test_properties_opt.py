@@ -1,0 +1,154 @@
+"""Property tests over the policy auto-tuner.
+
+The optimizer's determinism contract, exercised with Hypothesis over
+drawn parameter spaces and submission orders on a short diurnal prefix:
+
+* grid search's reported optimum and frontier are invariant to the
+  order trials are submitted in;
+* successive halving with ``keep_fraction=1.0`` reproduces exhaustive
+  grid search on the same prefix schedule;
+* the reported optimum is reproducible bit-for-bit across runs on
+  fresh model contexts;
+* the optimum is never QoS-violating when the space contains a
+  zero-violation config.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dvfs import LoadTrace
+from repro.opt import (
+    GridSearch,
+    OptResult,
+    ParamSpace,
+    PolicyTuner,
+    SuccessiveHalving,
+)
+from repro.sweep.context import ModelContext
+from repro.workloads.cloudsuite import WEB_SEARCH
+
+TRACE = LoadTrace.diurnal().head(8)
+
+spaces = st.builds(
+    ParamSpace,
+    fleet_sizes=st.lists(
+        st.sampled_from((1, 2, 3)), min_size=1, max_size=2, unique=True
+    ).map(tuple),
+    governors=st.lists(
+        st.sampled_from(("qos_tracker", "ondemand", "powersave")),
+        min_size=1,
+        max_size=2,
+        unique=True,
+    ).map(tuple),
+    routings=st.lists(
+        st.sampled_from(("pack", "spread", "round_robin")),
+        min_size=1,
+        max_size=2,
+        unique=True,
+    ).map(tuple),
+    bands=st.lists(
+        st.sampled_from((None, (0.35, 0.75), (0.5, 0.9))),
+        min_size=1,
+        max_size=2,
+        unique=True,
+    ).map(tuple),
+)
+
+prefix_schedules = st.lists(
+    st.sampled_from((2, 3, 4, 6)), min_size=1, max_size=3, unique=True
+).map(lambda steps: tuple(sorted(steps)))
+
+
+@pytest.fixture(scope="module")
+def tuner(default_context):
+    return PolicyTuner(default_context, WEB_SEARCH, TRACE)
+
+
+@settings(max_examples=10, deadline=None)
+@given(space=spaces, seed=st.randoms(use_true_random=False))
+def test_grid_optimum_invariant_to_submission_order(tuner, space, seed):
+    configs = list(space.configs())
+    baseline = tuner.tune(space, GridSearch())
+
+    shuffled = list(configs)
+    seed.shuffle(shuffled)
+    trials = tuner.evaluate(shuffled)
+    permuted = OptResult(
+        space=space,
+        strategy="grid",
+        trials=trials,
+        full_steps=len(TRACE),
+        evaluations=len(trials),
+        full_length_evaluations=len(trials),
+    )
+
+    assert permuted.best_config == baseline.best_config
+    assert permuted.best_trial.summary == baseline.best_trial.summary
+    frontier_points = lambda result: {
+        (row["violation_count"], row[result.frontier_metric])
+        for row in result.frontier()
+    }
+    assert frontier_points(permuted) == frontier_points(baseline)
+
+
+@settings(max_examples=10, deadline=None)
+@given(space=spaces, prefixes=prefix_schedules)
+def test_halving_with_keep_one_equals_grid(tuner, space, prefixes):
+    grid = tuner.tune(space, GridSearch())
+    halving = tuner.tune(
+        space, SuccessiveHalving(keep_fraction=1.0, prefix_steps=prefixes)
+    )
+    final = [halving.trials[i] for i in halving.final_indices]
+    assert [t.config for t in final] == [t.config for t in grid.trials]
+    assert [t.summary for t in final] == [t.summary for t in grid.trials]
+    assert [t.objective for t in final] == [t.objective for t in grid.trials]
+    assert halving.best_config == grid.best_config
+    assert halving.frontier() == grid.frontier()
+    assert halving.as_dict()["best"] == grid.as_dict()["best"]
+
+
+@settings(max_examples=5, deadline=None)
+@given(space=spaces)
+def test_optimum_reproducible_bit_for_bit_across_runs(
+    default_configuration, space
+):
+    runs = []
+    for _ in range(2):
+        context = ModelContext(default_configuration)
+        tuner = PolicyTuner(context, WEB_SEARCH, TRACE)
+        result = tuner.tune(space, GridSearch())
+        runs.append(json.dumps(result.as_dict(), sort_keys=True))
+    assert runs[0] == runs[1]
+
+
+@settings(max_examples=10, deadline=None)
+@given(space=spaces)
+def test_optimum_never_violates_when_a_clean_config_exists(tuner, space):
+    result = tuner.tune(space, GridSearch())
+    clean_exists = any(
+        trial.summary["violation_count"] == 0 for trial in result.trials
+    )
+    if clean_exists:
+        assert result.best_trial.summary["violation_count"] == 0
+        assert result.best_trial.feasible
+    else:
+        assert not result.best_trial.feasible
+
+
+@settings(max_examples=10, deadline=None)
+@given(space=spaces, prefixes=prefix_schedules)
+def test_halving_optimum_never_violates_on_prefix_clean_survivors(
+    tuner, space, prefixes
+):
+    """Replays are causal: a full-length-clean config is clean on every
+    prefix, so with keep_fraction=1.0 no clean config is ever cut and
+    halving inherits grid's never-violating guarantee."""
+    result = tuner.tune(
+        space, SuccessiveHalving(keep_fraction=1.0, prefix_steps=prefixes)
+    )
+    final = [result.trials[i] for i in result.final_indices]
+    if any(t.summary["violation_count"] == 0 for t in final):
+        assert result.best_trial.summary["violation_count"] == 0
