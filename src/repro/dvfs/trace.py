@@ -133,6 +133,96 @@ class LoadTrace:
             "peak_utilization": self.peak_utilization,
         }
 
+    # -- composition -----------------------------------------------------------------
+
+    def with_surge(
+        self,
+        start: int,
+        steps: int,
+        factor: float,
+        shape: str = "step",
+        name: str | None = None,
+    ) -> "LoadTrace":
+        """A flash-crowd surge: multiply a window of steps by ``factor``.
+
+        ``shape="step"`` applies the full multiplier across the whole
+        window; ``shape="ramp"`` ramps linearly from the baseline up to
+        ``factor`` at the window's last step (the crowd building).  The
+        window ``[start, start + steps)`` is clamped to the trace
+        bounds, and surged values clip at 1.0 -- a saturated step
+        cannot offer more than the fleet's nominal throughput.
+        """
+        if steps < 1:
+            raise ValueError(
+                f"trace {self.name!r}: surge needs at least one step, "
+                f"got {steps}"
+            )
+        if not math.isfinite(factor) or factor <= 0.0:
+            raise ValueError(
+                f"trace {self.name!r}: surge factor must be positive and "
+                f"finite, got {factor}"
+            )
+        if shape not in ("step", "ramp"):
+            raise ValueError(
+                f"trace {self.name!r}: unknown surge shape {shape!r}; "
+                "known shapes: ramp, step"
+            )
+        first = max(int(start), 0)
+        last = min(int(start) + int(steps), len(self.utilization))
+        values = list(self.utilization)
+        window = last - first
+        for offset in range(window):
+            if shape == "ramp":
+                multiplier = 1.0 + (factor - 1.0) * (offset + 1) / window
+            else:
+                multiplier = factor
+            values[first + offset] = min(
+                1.0, values[first + offset] * multiplier
+            )
+        return LoadTrace(
+            name=name if name is not None else f"{self.name}+surge",
+            step_seconds=self.step_seconds,
+            utilization=tuple(values),
+        )
+
+    def concat(self, other: "LoadTrace", name: str | None = None) -> "LoadTrace":
+        """This trace followed by ``other`` (regional-failover shapes).
+
+        Both traces must share the same step duration -- concatenating
+        mismatched resolutions would silently re-time one of them.
+        """
+        if other.step_seconds != self.step_seconds:
+            raise ValueError(
+                f"cannot concat traces with mismatched step_seconds: "
+                f"{self.name!r} has {self.step_seconds}, "
+                f"{other.name!r} has {other.step_seconds}"
+            )
+        return LoadTrace(
+            name=name if name is not None else f"{self.name}+{other.name}",
+            step_seconds=self.step_seconds,
+            utilization=self.utilization + other.utilization,
+        )
+
+    def scale(self, factor: float, name: str | None = None) -> "LoadTrace":
+        """Every step multiplied by ``factor``, clipped at 1.0.
+
+        The failover primitive: a region absorbing a sibling's traffic
+        sees its whole trace scaled up (values saturate at the fleet's
+        nominal throughput rather than becoming invalid loads).
+        """
+        if not math.isfinite(factor) or factor <= 0.0:
+            raise ValueError(
+                f"trace {self.name!r}: scale factor must be positive and "
+                f"finite, got {factor}"
+            )
+        return LoadTrace(
+            name=name if name is not None else f"{self.name}x{factor:g}",
+            step_seconds=self.step_seconds,
+            utilization=tuple(
+                min(1.0, value * factor) for value in self.utilization
+            ),
+        )
+
     # -- generators ------------------------------------------------------------------
 
     @classmethod
@@ -244,7 +334,15 @@ class LoadTrace:
         phase = 2.0 * math.pi * (np.arange(steps) + 0.5) / steps
         envelope = 0.55 + 0.45 * 0.5 * (1.0 - np.cos(phase))
         raw = chunk_means * envelope
-        values = np.clip(raw * (target_mean / raw.mean()), 0.0, 1.0)
+        raw_mean = float(raw.mean())
+        if raw_mean <= 0.0:
+            raise ValueError(
+                "LoadTrace.from_bitbrains: the sampled VM population is "
+                "all-idle (mean CPU utilisation is 0), so the trace cannot "
+                f"be rescaled to target_mean={target_mean}; use a model "
+                "whose samples carry nonzero cpu_utilization"
+            )
+        values = np.clip(raw * (target_mean / raw_mean), 0.0, 1.0)
         return cls(
             name=name, step_seconds=step_seconds, utilization=tuple(map(float, values))
         )

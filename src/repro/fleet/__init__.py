@@ -21,6 +21,10 @@ simulates ``N`` servers serving one shared request stream over time:
   (fleet rows + per-node tables) with its energy/violation reductions.
 * :mod:`repro.fleet.economics` -- :class:`CostModel`: cost-per-QPS,
   dollars per million requests and TCO-style rollups.
+* :mod:`repro.fleet.disturbance` -- :class:`DisturbanceSchedule`:
+  timed failure injection (node crashes/restores, thermal caps)
+  applied mid-replay, with resilience metrics on
+  :meth:`FleetResult.resilience`.
 
 >>> from repro.core.config import default_server
 >>> from repro.fleet import Autoscaler, FleetSimulator
@@ -37,6 +41,16 @@ True
 """
 
 from repro.fleet.autoscaler import Autoscaler, ScalingDecision
+from repro.fleet.disturbance import (
+    EVENT_KINDS,
+    DisturbanceEvent,
+    DisturbanceSchedule,
+    event_from_tuple,
+    load_surge,
+    node_crash,
+    node_restore,
+    thermal_cap,
+)
 from repro.fleet.economics import CostModel
 from repro.fleet.node import NodeState, NodeStep, ServerNode
 from repro.fleet.result import FLEET_COLUMNS, NODE_COLUMNS, FleetResult
@@ -53,11 +67,14 @@ from repro.fleet.routing import (
 from repro.fleet.simulator import FleetSimulator
 
 __all__ = [
+    "EVENT_KINDS",
     "FLEET_COLUMNS",
     "NODE_COLUMNS",
     "ROUTERS",
     "Autoscaler",
     "CostModel",
+    "DisturbanceEvent",
+    "DisturbanceSchedule",
     "FleetResult",
     "FleetSimulator",
     "LeastLoadedRouting",
@@ -70,5 +87,10 @@ __all__ = [
     "ScalingDecision",
     "ServerNode",
     "SpreadRouting",
+    "event_from_tuple",
+    "load_surge",
+    "node_crash",
+    "node_restore",
     "router_by_name",
+    "thermal_cap",
 ]

@@ -104,10 +104,15 @@ class Autoscaler:
         """
         serving = [n for n in nodes if n.state is NodeState.SERVING]
         booting = [n for n in nodes if n.state is NodeState.BOOTING]
-        off = [n for n in nodes if n.state is NodeState.OFF]
+        off = [n for n in nodes if n.state is NodeState.OFF and not n.failed]
         active = len(serving) + len(booting)
 
-        utilization = mass / len(serving) if serving else math.inf
+        # Utilisation is measured over serving capacity, falling back to
+        # booting capacity during a cold start: with zero serving nodes
+        # the signal used to be inf every boot step, re-triggering
+        # desired_active until the first boot completed.
+        capacity = len(serving) if serving else len(booting)
+        utilization = mass / capacity if capacity else math.inf
         if utilization > self.high or utilization < self.low:
             desired = self.desired_active(mass, fleet_size=len(nodes))
         else:
@@ -119,12 +124,17 @@ class Autoscaler:
             for node in sorted(off, key=lambda n: n.node_id)[: desired - active]:
                 node.wake(self.wake_steps)
                 woken.append(node.node_id)
-        elif desired < active:
+        elif desired < active and desired < len(serving):
             # Park booting nodes first (they serve nothing yet), then
             # the highest-id serving nodes -- the reverse of pack's and
             # wake's fill order, so node 0 stays up.  Exactly
             # ``active - desired`` nodes park, so the active count
             # lands on ``desired`` (>= min_servers by construction).
+            # Boot grace: while desired still covers the serving count,
+            # in-flight boots are left alone -- parking them on a
+            # one-step dip only to re-wake them next step would
+            # double-charge wake_energy_j for capacity that never
+            # served.
             candidates = sorted(
                 booting, key=lambda n: n.node_id, reverse=True
             ) + sorted(serving, key=lambda n: n.node_id, reverse=True)

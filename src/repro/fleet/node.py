@@ -21,7 +21,9 @@ import enum
 import math
 from dataclasses import dataclass, field
 
-from repro.dvfs.governors import Governor, LoadObservation
+from typing import Optional
+
+from repro.dvfs.governors import Governor, LoadObservation, PlatformView
 from repro.dvfs.simulator import GovernorSimulator
 from repro.fleet.routing import NodeView
 
@@ -76,6 +78,8 @@ class ServerNode:
     state: NodeState = field(init=False)
     boot_remaining: int = field(default=0, init=False)
     previous_frequency_hz: float = field(init=False)
+    failed: bool = field(default=False, init=False)
+    _capped_platform: Optional[PlatformView] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         self.state = NodeState.SERVING if self.serving else NodeState.OFF
@@ -88,6 +92,20 @@ class ServerNode:
     # -- views -----------------------------------------------------------------------
 
     @property
+    def platform(self) -> PlatformView:
+        """The grid this node's governor may pick from.
+
+        The fleet's shared view normally; a shrunk view while a thermal
+        cap is applied.  The *demand reference* is deliberately not
+        this view: offered load is always expressed against the full
+        platform's nominal throughput, so a capped node keeps receiving
+        its true share and violates when it cannot serve it.
+        """
+        if self._capped_platform is not None:
+            return self._capped_platform
+        return self.simulator.platform
+
+    @property
     def nominal_capacity_uips(self) -> float:
         """Throughput at the nominal frequency (the demand reference)."""
         return self.simulator.platform.nominal_capacity_uips
@@ -95,7 +113,7 @@ class ServerNode:
     @property
     def previous_capacity_uips(self) -> float:
         """Throughput at the frequency this node ran during the last step."""
-        return self.simulator.platform.capacity_uips[self.previous_frequency_hz]
+        return self.platform.capacity_uips[self.previous_frequency_hz]
 
     def view(self) -> NodeView:
         """Frozen snapshot for the routing policies."""
@@ -113,16 +131,19 @@ class ServerNode:
         """Power the node on; it serves after ``boot_steps`` full steps."""
         if self.state is not NodeState.OFF:
             raise ValueError(f"node {self.node_id} is not off; cannot wake")
+        if self.failed:
+            raise ValueError(
+                f"node {self.node_id} has crashed; restore it before waking"
+            )
         if boot_steps <= 0:
             self.state = NodeState.SERVING
         else:
             self.state = NodeState.BOOTING
             self.boot_remaining = boot_steps
         # A woken machine has no DVFS history; it restarts from the
-        # nominal frequency like the first replay step.
-        self.previous_frequency_hz = (
-            self.simulator.platform.nominal_frequency_hz
-        )
+        # nominal frequency like the first replay step (the capped top
+        # while a thermal cap is in force).
+        self.previous_frequency_hz = self.platform.nominal_frequency_hz
 
     def shut_down(self) -> None:
         """Power the node off immediately."""
@@ -138,6 +159,60 @@ class ServerNode:
             if self.boot_remaining <= 0:
                 self.state = NodeState.SERVING
                 self.boot_remaining = 0
+
+    # -- disturbances ----------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail the node hard: immediately OFF and ineligible to wake.
+
+        Idempotent within a step (crashing a crashed node is a no-op)
+        so the simulator can apply the event unconditionally after
+        routing has already assigned this node its doomed share.
+        """
+        self.failed = True
+        self.state = NodeState.OFF
+        self.boot_remaining = 0
+
+    def recover(self) -> None:
+        """Clear a crash so the node may be woken (or serve) again."""
+        if not self.failed:
+            raise ValueError(
+                f"node {self.node_id} has not crashed; nothing to recover"
+            )
+        self.failed = False
+
+    def apply_thermal_cap(self, max_frequency_hz: float) -> None:
+        """Shrink this node's reachable grid to ``<= max_frequency_hz``.
+
+        The capped view keeps the shared platform's capacity and QoS
+        maps (every capped frequency is on the full grid, so record
+        lookups still hit the memoized context).  The previous
+        frequency is clamped onto the capped grid so stateful governors
+        keep a valid anchor.
+        """
+        full = self.simulator.platform
+        capped_frequencies = tuple(
+            frequency
+            for frequency in full.frequencies
+            if frequency <= max_frequency_hz
+        )
+        if not capped_frequencies:
+            raise ValueError(
+                f"thermal cap at {max_frequency_hz} Hz leaves node "
+                f"{self.node_id} no reachable frequency (grid bottom is "
+                f"{full.min_frequency_hz} Hz)"
+            )
+        self._capped_platform = PlatformView(
+            frequencies=capped_frequencies,
+            capacity_uips=full.capacity_uips,
+            qos_ok=full.qos_ok,
+        )
+        if self.previous_frequency_hz > capped_frequencies[-1]:
+            self.previous_frequency_hz = capped_frequencies[-1]
+
+    def clear_thermal_cap(self) -> None:
+        """Restore the full shared grid (no-op when uncapped)."""
+        self._capped_platform = None
 
     # -- stepping --------------------------------------------------------------------
 
@@ -158,7 +233,7 @@ class ServerNode:
         (the wake energy) into this node's energy so the fleet total is
         always the exact sum of its nodes.
         """
-        platform = self.simulator.platform
+        platform = self.platform
         demand = utilization * self.nominal_capacity_uips
 
         if self.state is NodeState.SERVING:

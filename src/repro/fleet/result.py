@@ -20,9 +20,12 @@ Two ledger invariants the property tests lock down:
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.fleet.disturbance import DisturbanceEvent
 
 _FLEET_FLOAT_COLUMNS = (
     "time_s",
@@ -84,6 +87,7 @@ class FleetResult:
         autoscaled: bool,
         columns: Dict[str, np.ndarray],
         node_columns: Dict[int, Dict[str, np.ndarray]],
+        disturbance_events: Tuple["DisturbanceEvent", ...] = (),
     ):
         missing = [name for name in FLEET_COLUMNS if name not in columns]
         if missing:
@@ -119,6 +123,7 @@ class FleetResult:
         self.step_seconds = step_seconds
         self.instructions_per_request = instructions_per_request
         self.autoscaled = autoscaled
+        self.disturbance_events = tuple(disturbance_events)
         self._columns = {name: columns[name] for name in FLEET_COLUMNS}
         self._node_columns = {
             node_id: {name: table[name] for name in NODE_COLUMNS}
@@ -302,6 +307,67 @@ class FleetResult:
     def saturated_step_count(self) -> int:
         """Steps where some loaded node's queue was saturated."""
         return int(np.isinf(self._columns["tail_latency_s"]).sum())
+
+    # -- resilience -------------------------------------------------------------------
+
+    @property
+    def surge_peak_energy_j(self) -> float:
+        """The most expensive single step of the replay.
+
+        Under a flash crowd this is the surge's energy high-water mark
+        (extra wakes plus every survivor running hot); on a smooth
+        replay it is simply the busiest step.
+        """
+        return float(self._columns["energy_j"].max()) if len(self) else 0.0
+
+    def recovery_after(self, step: int) -> Optional[int]:
+        """Steps from ``step`` until the fleet is violation-free again.
+
+        ``0`` means the fleet never violated at ``step`` itself; ``None``
+        means it never recovered before the trace ended.
+        """
+        violations = self._columns["violation"][step:]
+        clean = np.flatnonzero(~violations)
+        return int(clean[0]) if clean.size else None
+
+    def resilience(self) -> Dict[str, object]:
+        """Per-event recovery metrics (what the stress goldens pin).
+
+        Each scheduled disturbance gets a row: how many steps until the
+        first violation-free step at or after the event
+        (``recovery_time_steps``, ``None`` if the trace ends first) and
+        how many violating steps the fleet logged while re-spreading
+        the event's load (``violations_during_respread``).
+        """
+        violations = self._columns["violation"]
+        events: List[Dict[str, object]] = []
+        recoveries: List[int] = []
+        unrecovered = 0
+        for event in self.disturbance_events:
+            recovery = self.recovery_after(event.step)
+            if recovery is None:
+                respread_end = len(self)
+                unrecovered += 1
+            else:
+                respread_end = event.step + recovery
+                recoveries.append(recovery)
+            events.append(
+                {
+                    "kind": event.kind,
+                    "step": event.step,
+                    "node_id": event.node_id,
+                    "recovery_time_steps": recovery,
+                    "violations_during_respread": int(
+                        violations[event.step : respread_end].sum()
+                    ),
+                }
+            )
+        return {
+            "events": events,
+            "max_recovery_time_steps": max(recoveries, default=0),
+            "unrecovered_events": unrecovered,
+            "surge_peak_energy_j": self.surge_peak_energy_j,
+        }
 
     def summary(self) -> Dict[str, object]:
         """The replay's scalar outcomes (what the golden fixtures pin)."""

@@ -32,6 +32,12 @@ from repro.dvfs.governors import Governor, governor_by_name
 from repro.dvfs.simulator import GovernorSimulator
 from repro.dvfs.trace import LoadTrace
 from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.disturbance import (
+    NODE_CRASH,
+    NODE_RESTORE,
+    THERMAL_CAP,
+    DisturbanceSchedule,
+)
 from repro.fleet.node import NodeState, NodeStep, ServerNode
 from repro.fleet.result import NODE_COLUMNS, FleetResult
 from repro.fleet.routing import RoutingPolicy, router_by_name
@@ -177,6 +183,7 @@ class FleetSimulator:
         trace: LoadTrace,
         routing: RoutingPolicy | str,
         reference: bool = False,
+        disturbances: DisturbanceSchedule | None = None,
     ) -> FleetResult:
         """Run one routing policy over one trace, one fleet row per step.
 
@@ -186,10 +193,17 @@ class FleetSimulator:
         object loop (the two paths are bit-for-bit identical -- the
         kernel equivalence tests pin it).  Custom policy subclasses
         always take the reference path.
+
+        ``disturbances`` injects timed failures mid-replay: crashes and
+        restores replay on both paths bit-for-bit; thermal caps mutate
+        per-node platform views, so any schedule carrying one takes the
+        reference path.
         """
         if isinstance(routing, str):
             routing = router_by_name(routing)
         steps = len(trace)
+        if disturbances is not None:
+            disturbances.validate_for(self.fleet_size, steps)
         use_queueing = (
             self.queueing
             and self.workload.is_scale_out
@@ -199,7 +213,9 @@ class FleetSimulator:
             from repro.kernels import fleet as fleet_kernel
 
             governor = self._make_governor()
-            if fleet_kernel.supports(routing, governor, self.autoscaler):
+            if fleet_kernel.supports(
+                routing, governor, self.autoscaler, disturbances=disturbances
+            ):
                 fleet_columns, node_columns = fleet_kernel.fleet_replay_columns(
                     table=self._sim.table,
                     workload=self.workload,
@@ -210,6 +226,7 @@ class FleetSimulator:
                     off_power_w=self.off_power_w,
                     trace=trace,
                     use_queueing=use_queueing,
+                    disturbances=disturbances,
                 )
                 return FleetResult(
                     routing_name=routing.name,
@@ -224,6 +241,9 @@ class FleetSimulator:
                     autoscaled=self.autoscaler is not None,
                     columns=fleet_columns,
                     node_columns=node_columns,
+                    disturbance_events=(
+                        disturbances.events if disturbances else ()
+                    ),
                 )
         qos_limit = self.workload.qos_limit_seconds
 
@@ -272,6 +292,24 @@ class FleetSimulator:
 
             for node in nodes:
                 node.advance_boot()
+            if disturbances is not None:
+                # Restores and caps take effect before the scaling
+                # decision (capacity that exists again, grids that just
+                # shrank); crashes are applied after routing below, so
+                # the crash step's routed share is genuinely lost.
+                for event in disturbances.events_at(index, NODE_RESTORE):
+                    node = nodes[event.node_id]
+                    node.recover()
+                    if self.autoscaler is None:
+                        # A static fleet has no scaler to re-admit the
+                        # node, so restoration powers it straight back
+                        # on (no wake penalty: nothing decided to wake
+                        # it, the machine simply came back).
+                        node.wake(0)
+                for event in disturbances.events_at(index, THERMAL_CAP):
+                    nodes[event.node_id].apply_thermal_cap(
+                        event.max_frequency_hz
+                    )
             if self.autoscaler is not None:
                 decision = self.autoscaler.scale(mass, nodes)
                 woken = set(decision.woken)
@@ -293,6 +331,13 @@ class FleetSimulator:
                     f"routing {routing.name!r} does not conserve load: "
                     f"assigned {sum(shares)} of {mass} server-equivalents"
                 )
+            if disturbances is not None:
+                # Crashes land after routing already committed this
+                # step's shares: the crashed node's share is dropped on
+                # the floor (a violation) and the survivors only pick
+                # it up at the next step's re-spread.
+                for event in disturbances.events_at(index, NODE_CRASH):
+                    nodes[event.node_id].crash()
 
             total_power = 0.0
             total_energy = 0.0
@@ -366,6 +411,7 @@ class FleetSimulator:
             autoscaled=self.autoscaler is not None,
             columns=fleet,
             node_columns=per_node,
+            disturbance_events=disturbances.events if disturbances else (),
         )
 
     def compare(
@@ -373,6 +419,7 @@ class FleetSimulator:
         trace: LoadTrace,
         routings: Iterable[RoutingPolicy | str] | None = None,
         reference: bool = False,
+        disturbances: DisturbanceSchedule | None = None,
     ) -> Dict[str, FleetResult]:
         """Run several routing policies on the same trace, keyed by name.
 
@@ -384,7 +431,9 @@ class FleetSimulator:
         chosen = list(routings) if routings is not None else list(ROUTERS)
         results: Dict[str, FleetResult] = {}
         for routing in chosen:
-            result = self.run(trace, routing, reference=reference)
+            result = self.run(
+                trace, routing, reference=reference, disturbances=disturbances
+            )
             if result.routing_name in results:
                 raise ValueError(
                     f"duplicate routing {result.routing_name!r} in comparison"

@@ -49,6 +49,7 @@ from repro.dvfs.governors import Governor, governor_by_name
 from repro.dvfs.replay import ReplayResult
 from repro.dvfs.trace import LoadTrace
 from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.disturbance import DisturbanceSchedule
 from repro.fleet.node import NodeState
 from repro.fleet.result import FleetResult
 from repro.fleet.routing import (
@@ -95,6 +96,7 @@ class ReplaySpec:
     autoscaler: Optional[Autoscaler] = None
     off_power_w: float = 0.0
     queueing: bool = True
+    disturbances: Optional[DisturbanceSchedule] = None
 
     def __post_init__(self) -> None:
         if self.fleet_size is None:
@@ -112,6 +114,11 @@ class ReplaySpec:
                 raise ValueError(
                     "off_power_w needs a fleet_size; single-server "
                     "replays have no parked servers"
+                )
+            if self.disturbances is not None:
+                raise ValueError(
+                    "a disturbance schedule needs a fleet_size; "
+                    "single-server replays have no fleet to disturb"
                 )
             return
         if self.fleet_size < 1:
@@ -398,8 +405,11 @@ def _batched_state_timeline(
             n_serving = serving.sum(axis=1)
             n_booting = booting.sum(axis=1)
             active = n_serving + n_booting
+            # Serving capacity, falling back to booting capacity during
+            # a cold start (mirrors Autoscaler.scale's utilisation fix).
+            capacity = np.where(n_serving > 0, n_serving, n_booting)
             utilization = np.where(
-                n_serving > 0, mass / np.maximum(n_serving, 1), np.inf
+                capacity > 0, mass / np.maximum(capacity, 1), np.inf
             )
             rescale = (utilization > autoscaler.high) | (
                 utilization < autoscaler.low
@@ -422,7 +432,11 @@ def _batched_state_timeline(
                     states = np.where(wake, np.int8(_BOOTING), states)
                     boot = np.where(wake, autoscaler.wake_steps, boot)
                 wake3d[:, :, step] = wake
-            park_quota = np.maximum(-delta, 0)
+            # Boot grace (mirrors Autoscaler.scale): no parking unless
+            # the desired count undercuts even the serving set.
+            park_quota = np.where(
+                desired < n_serving, np.maximum(-delta, 0), 0
+            )
             if park_quota.any():
                 # Candidates in park order: booting nodes by descending
                 # id, then serving nodes by descending id.  A node's
@@ -1056,7 +1070,14 @@ class BatchReplayRunner:
             governor = self._resolve_governor(spec.governor)
             if spec.is_fleet:
                 routing = self._resolve_routing(spec.routing)
-                if fleet_kernel.supports(routing, governor, spec.autoscaler):
+                # Disturbance schedules stay per-replay: the batched
+                # (B, N, T) state machine has no event timeline, so
+                # they replay through the simulator path (which still
+                # dispatches crash/restore schedules to the
+                # single-replay kernel, bit-for-bit).
+                if spec.disturbances is None and fleet_kernel.supports(
+                    routing, governor, spec.autoscaler
+                ):
                     key = (
                         spec.workload,
                         governor,
@@ -1133,7 +1154,9 @@ class BatchReplayRunner:
                 off_power_w=spec.off_power_w,
                 queueing=spec.queueing,
             )
-            return simulator.run(spec.trace, spec.routing)
+            return simulator.run(
+                spec.trace, spec.routing, disturbances=spec.disturbances
+            )
         from repro.dvfs.simulator import GovernorSimulator
 
         simulator = GovernorSimulator(

@@ -49,6 +49,11 @@ import numpy as np
 from repro.dvfs.governors import Governor
 from repro.dvfs.trace import LoadTrace
 from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.disturbance import (
+    NODE_CRASH,
+    NODE_RESTORE,
+    DisturbanceSchedule,
+)
 from repro.fleet.node import NodeState
 from repro.fleet.routing import (
     LeastLoadedRouting,
@@ -82,40 +87,72 @@ _NO_ACTIVE_NODE = "cannot route load on a fleet with no active node"
 
 
 def supports(
-    routing: RoutingPolicy, governor: Governor, autoscaler: Autoscaler | None
+    routing: RoutingPolicy,
+    governor: Governor,
+    autoscaler: Autoscaler | None,
+    disturbances: DisturbanceSchedule | None = None,
 ) -> bool:
-    """True when this (routing, governor, autoscaler) trio has a kernel."""
+    """True when this (routing, governor, autoscaler) trio has a kernel.
+
+    Crash/restore disturbance schedules stay on the kernel (they only
+    move power states); thermal caps mutate per-node platform views and
+    force the object-based reference path.
+    """
     return (
         type(routing) in ROUTING_KERNEL_TYPES
         and has_kernel(governor)
         and (autoscaler is None or type(autoscaler) is Autoscaler)
+        and (disturbances is None or disturbances.kernel_supported)
     )
 
 
 @dataclass(eq=False)
 class _StateTimeline:
-    """The fleet's power states resolved over the whole trace."""
+    """The fleet's power states resolved over the whole trace.
 
-    state2d: np.ndarray  # (fleet_size, steps) int8, post-scaling
+    ``route_state2d`` is what the routing sees (post-scaling, *before*
+    the step's crashes land) and ``state2d`` what the nodes actually do
+    (post-crash); without node disturbances the two are the same array.
+    ``serving_ids``/``active_ids`` are routing targets,
+    ``select_ids`` the governor-selection domain (final serving set).
+    """
+
+    state2d: np.ndarray  # (fleet_size, steps) int8, post-crash
+    route_state2d: np.ndarray  # (fleet_size, steps) int8, post-scaling
     wake_counts: np.ndarray  # (steps,) int64
     woken: List[List[int]]  # node ids whose boot began at each step
-    serving_ids: List[List[int]]  # ascending, per step
-    active_ids: List[List[int]]  # ascending, per step
+    restarted: List[List[int]]  # static-fleet restores (reset previous)
+    serving_ids: List[List[int]]  # ascending, per step, routing view
+    active_ids: List[List[int]]  # ascending, per step, routing view
+    select_ids: List[List[int]]  # ascending, per step, post-crash serving
 
 
 def _resolve_states(
     mass_list: List[float],
     fleet_size: int,
     autoscaler: Autoscaler | None,
+    disturbances: DisturbanceSchedule | None = None,
 ) -> _StateTimeline:
     """Replay the autoscaler's state machine over the mass sequence.
 
     Mirrors ``FleetSimulator.run``'s per-step ordering exactly: boots
-    advance first, then one scaling decision mutates the states the
-    routing sees.  Node ids are list indices, so the reference's
-    lowest-id-wakes / highest-id-parks ordering is the natural slice.
+    advance first, restores land, then one scaling decision mutates the
+    states the routing sees, and crashes land last (after routing has
+    committed the step's shares).  Node ids are list indices, so the
+    reference's lowest-id-wakes / highest-id-parks ordering is the
+    natural slice.
     """
     steps = len(mass_list)
+    crashes_at: Dict[int, List[int]] = {}
+    restores_at: Dict[int, List[int]] = {}
+    if disturbances is not None:
+        for event in disturbances.events:
+            if event.kind == NODE_CRASH:
+                crashes_at.setdefault(event.step, []).append(event.node_id)
+            elif event.kind == NODE_RESTORE:
+                restores_at.setdefault(event.step, []).append(event.node_id)
+    has_node_events = bool(crashes_at or restores_at)
+
     if autoscaler is None:
         initially_serving = fleet_size
     else:
@@ -125,12 +162,20 @@ def _resolve_states(
         for node in range(fleet_size)
     ]
     boot = [0] * fleet_size
+    failed = [False] * fleet_size
 
     state2d = np.empty((fleet_size, steps), dtype=np.int8)
+    route_state2d = (
+        np.empty((fleet_size, steps), dtype=np.int8)
+        if has_node_events
+        else state2d
+    )
     wake_counts = np.zeros(steps, dtype=np.int64)
     woken_steps: List[List[int]] = []
+    restarted_steps: List[List[int]] = []
     serving_steps: List[List[int]] = []
     active_steps: List[List[int]] = []
+    select_steps: List[List[int]] = []
 
     for index in range(steps):
         mass = mass_list[index]
@@ -140,13 +185,27 @@ def _resolve_states(
                 if boot[node] <= 0:
                     states[node] = _SERVING
                     boot[node] = 0
+        restarted: List[int] = []
+        for node in restores_at.get(index, ()):
+            failed[node] = False
+            if autoscaler is None:
+                # Matches the reference's restore-on-a-static-fleet:
+                # wake(0) -- immediately serving, DVFS history reset,
+                # no wake event and no wake energy.
+                states[node] = _SERVING
+                restarted.append(node)
         woken: List[int] = []
         if autoscaler is not None:
             serving = [n for n in range(fleet_size) if states[n] == _SERVING]
             booting = [n for n in range(fleet_size) if states[n] == _BOOTING]
-            off = [n for n in range(fleet_size) if states[n] == _OFF]
+            off = [
+                n
+                for n in range(fleet_size)
+                if states[n] == _OFF and not failed[n]
+            ]
             active = len(serving) + len(booting)
-            utilization = mass / len(serving) if serving else math.inf
+            capacity = len(serving) if serving else len(booting)
+            utilization = mass / capacity if capacity else math.inf
             if utilization > autoscaler.high or utilization < autoscaler.low:
                 desired = autoscaler.desired_active(mass, fleet_size)
             else:
@@ -159,26 +218,41 @@ def _resolve_states(
                         states[node] = _BOOTING
                         boot[node] = autoscaler.wake_steps
                     woken.append(node)
-            elif desired < active:
+            elif desired < active and desired < len(serving):
                 candidates = booting[::-1] + serving[::-1]
                 for node in candidates[: active - desired]:
                     states[node] = _OFF
                     boot[node] = 0
-        state2d[:, index] = states
-        wake_counts[index] = len(woken)
-        woken_steps.append(woken)
+        route_state2d[:, index] = states
         serving_steps.append(
             [n for n in range(fleet_size) if states[n] == _SERVING]
         )
         active_steps.append(
             [n for n in range(fleet_size) if states[n] != _OFF]
         )
+        for node in crashes_at.get(index, ()):
+            states[node] = _OFF
+            boot[node] = 0
+            failed[node] = True
+        if has_node_events:
+            state2d[:, index] = states
+            select_steps.append(
+                [n for n in range(fleet_size) if states[n] == _SERVING]
+            )
+        else:
+            select_steps.append(serving_steps[-1])
+        wake_counts[index] = len(woken)
+        woken_steps.append(woken)
+        restarted_steps.append(restarted)
     return _StateTimeline(
         state2d=state2d,
+        route_state2d=route_state2d,
         wake_counts=wake_counts,
         woken=woken_steps,
+        restarted=restarted_steps,
         serving_ids=serving_steps,
         active_ids=active_steps,
+        select_ids=select_steps,
     )
 
 
@@ -257,6 +331,9 @@ def _sequential_selection(
     for index, mass in enumerate(mass_list):
         for node in timeline.woken[index]:
             previous[node] = table.nominal_index
+        for node in timeline.restarted[index]:
+            # Static-fleet restores wake(0): DVFS history resets.
+            previous[node] = table.nominal_index
         if least_loaded:
             targets = (
                 timeline.serving_ids[index] or timeline.active_ids[index]
@@ -275,7 +352,7 @@ def _sequential_selection(
                 total = float(len(targets))
             for node, weight in zip(targets, weights):
                 shares2d[node, index] = mass * (weight / total)
-        serving = timeline.serving_ids[index]
+        serving = timeline.select_ids[index]
         if serving:
             selector = np.asarray(serving, dtype=np.int64)
             utilization = shares2d[selector, index]
@@ -438,11 +515,15 @@ def fleet_replay_columns(
     off_power_w: float,
     trace: LoadTrace,
     use_queueing: bool,
+    disturbances: DisturbanceSchedule | None = None,
 ) -> Tuple[Dict[str, np.ndarray], Dict[int, Dict[str, np.ndarray]]]:
     """One routing policy's fleet replay as (fleet, per-node) columns.
 
     Caller guarantees :func:`supports` holds for the trio; the result
     is bit-for-bit identical to ``FleetSimulator.run``'s object path.
+    Routing targets come from the pre-crash states (a node crashing
+    this step was still routed its share -- now dropped as violations)
+    while every per-node column reflects the post-crash states.
     """
     steps = len(trace)
     utilization = np.asarray(trace.utilization, dtype=np.float64)
@@ -450,9 +531,15 @@ def fleet_replay_columns(
     mass_list = mass.tolist()
     nominal_capacity = table.nominal_capacity_uips
 
-    timeline = _resolve_states(mass_list, fleet_size, autoscaler)
+    timeline = _resolve_states(mass_list, fleet_size, autoscaler, disturbances)
     serving2d = timeline.state2d == _SERVING
     booting2d = timeline.state2d == _BOOTING
+    if timeline.route_state2d is timeline.state2d:
+        route_serving2d = serving2d
+        route_booting2d = booting2d
+    else:
+        route_serving2d = timeline.route_state2d == _SERVING
+        route_booting2d = timeline.route_state2d == _BOOTING
 
     idx2d = np.full((fleet_size, steps), table.nominal_index, dtype=np.int64)
     routing_type = type(routing)
@@ -464,13 +551,15 @@ def fleet_replay_columns(
         )
     else:
         if routing_type is RoundRobinRouting:
-            shares2d = _even_split_shares(mass, serving2d | booting2d)
+            shares2d = _even_split_shares(
+                mass, route_serving2d | route_booting2d
+            )
         elif routing_type is SpreadRouting:
-            serving_counts = serving2d.sum(axis=0)
+            serving_counts = route_serving2d.sum(axis=0)
             target2d = np.where(
                 serving_counts[np.newaxis, :] > 0,
-                serving2d,
-                serving2d | booting2d,
+                route_serving2d,
+                route_serving2d | route_booting2d,
             )
             shares2d = _even_split_shares(mass, target2d)
         else:  # PackRouting

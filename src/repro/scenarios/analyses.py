@@ -318,6 +318,101 @@ def fleet_replay(
     }
 
 
+def fleet_stress(
+    spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
+) -> dict:
+    """Fleet replay under injected disturbances, with resilience metrics.
+
+    Replays the spec's trace -- optionally overlaid with a flash-crowd
+    surge (``spec.surge_*``) -- through the spec's fleet while the
+    spec's :meth:`~repro.scenarios.spec.ScenarioSpec.disturbance_schedule`
+    fires timed node crashes, restores and thermal caps.  Per routing,
+    the golden-pinned blocks are the ordinary replay summary plus
+    :meth:`~repro.fleet.result.FleetResult.resilience`: recovery time
+    and violations-during-respread per event, and the surge's peak
+    per-step energy.  When a surge is configured, its landing step is
+    tagged with a ``load_surge`` marker event so it gets a recovery row
+    like any injected failure.  ``best_recovering_routing`` ranks by
+    energy among routings that recover from *every* event before the
+    trace ends.  The full per-step tables ride under the private
+    ``_steps`` key (rendered by the CLI, excluded from the goldens).
+    """
+    from repro.dvfs import load_trace_by_name
+    from repro.fleet import Autoscaler, FleetSimulator, load_surge
+    from repro.fleet.routing import ROUTERS
+
+    if spec.load_trace is None or spec.fleet_size is None:
+        raise ValueError(
+            f"scenario {spec.name!r}: the fleet_stress analysis needs "
+            "load_trace and fleet_size to be set"
+        )
+    trace = load_trace_by_name(spec.load_trace)
+    schedule = spec.disturbance_schedule()
+    if spec.surge_steps > 0:
+        trace = trace.with_surge(
+            spec.surge_start,
+            spec.surge_steps,
+            spec.surge_factor,
+            shape=spec.surge_shape,
+        )
+        marker_step = min(max(spec.surge_start, 0), len(trace) - 1)
+        schedule = schedule.with_events(load_surge(marker_step))
+    routing_names = spec.fleet_routings or tuple(ROUTERS)
+    autoscaler = Autoscaler() if spec.fleet_autoscale else None
+
+    summaries: Dict[str, dict] = {}
+    resilience: Dict[str, dict] = {}
+    steps: Dict[str, dict] = {}
+    best: Dict[str, object] = {}
+    for name, workload in spec.workloads().items():
+        simulator = FleetSimulator(
+            context,
+            workload,
+            fleet_size=spec.fleet_size,
+            governor=spec.fleet_governor,
+            autoscaler=autoscaler,
+            frequencies=spec.frequency_grid_hz,
+        )
+        results = simulator.compare(
+            trace, routing_names, disturbances=schedule
+        )
+        summaries[name] = {
+            routing: result.summary() for routing, result in results.items()
+        }
+        resilience[name] = {
+            routing: result.resilience()
+            for routing, result in results.items()
+        }
+        recovering = {
+            routing: result
+            for routing, result in results.items()
+            if resilience[name][routing]["unrecovered_events"] == 0
+        }
+        best[name] = (
+            min(
+                recovering,
+                key=lambda routing: recovering[routing].total_energy_j,
+            )
+            if recovering
+            else None
+        )
+        steps[name] = {
+            routing: result.to_dicts() for routing, result in results.items()
+        }
+    return {
+        "trace": trace.summary(),
+        "fleet_size": spec.fleet_size,
+        "governor": spec.fleet_governor,
+        "autoscaled": spec.fleet_autoscale,
+        "routings": list(routing_names),
+        "events": schedule.summary(),
+        "replays": summaries,
+        "resilience": resilience,
+        "best_recovering_routing": best,
+        "_steps": steps,
+    }
+
+
 def policy_opt(
     spec: "ScenarioSpec", context: ModelContext, sweep: SweepResult
 ) -> dict:
@@ -478,6 +573,7 @@ ANALYSES: Dict[str, AnalysisFn] = {
     "consolidation": consolidation,
     "dvfs_replay": dvfs_replay,
     "fleet_replay": fleet_replay,
+    "fleet_stress": fleet_stress,
     "sweep_governor_grid": sweep_governor_grid,
     "policy_opt": policy_opt,
 }

@@ -166,6 +166,62 @@ def _render_fleet_steps(extras: dict) -> List[str]:
     return lines
 
 
+def _render_stress_events(extras: dict) -> List[str]:
+    """Event/recovery tables and step tables of a ``fleet_stress`` analysis."""
+    from repro.utils.tables import format_table
+
+    stress = extras.get("fleet_stress", {})
+    lines: List[str] = []
+    resilience = stress.get("resilience", {})
+    for workload, by_routing in resilience.items():
+        for routing, metrics in by_routing.items():
+            lines.append("")
+            lines.append(
+                f"stress: {workload} under {routing} "
+                f"(peak step energy {metrics['surge_peak_energy_j']:.0f} J)"
+            )
+            lines.append(
+                format_table(
+                    ("event", "node", "step", "recovery (steps)", "respread viol"),
+                    [
+                        (
+                            event["kind"],
+                            "-" if event["node_id"] is None else event["node_id"],
+                            event["step"],
+                            (
+                                "never"
+                                if event["recovery_time_steps"] is None
+                                else event["recovery_time_steps"]
+                            ),
+                            event["violations_during_respread"],
+                        )
+                        for event in metrics["events"]
+                    ],
+                )
+            )
+    for workload, by_routing in stress.get("_steps", {}).items():
+        for routing, rows in by_routing.items():
+            lines.append("")
+            lines.append(f"stress fleet: {workload} under {routing}")
+            lines.append(
+                format_table(
+                    ("step", "util", "on", "serving", "E (J)", "QoS"),
+                    [
+                        (
+                            row["step"],
+                            f"{row['utilization']:.2f}",
+                            row["active_servers"],
+                            row["serving_servers"],
+                            f"{row['energy_j']:.0f}",
+                            "violated" if row["violation"] else "ok",
+                        )
+                        for row in rows
+                    ],
+                )
+            )
+    return lines
+
+
 def _render_opt_trials(extras: dict) -> List[str]:
     """Per-workload trials tables of a ``policy_opt`` analysis."""
     from repro.utils.tables import format_table
@@ -230,6 +286,7 @@ def _render_table(result: ScenarioResult) -> str:
         lines.append(json.dumps(_public_tree(result.extras), indent=2, sort_keys=True))
         lines.extend(_render_replay_steps(result.extras))
         lines.extend(_render_fleet_steps(result.extras))
+        lines.extend(_render_stress_events(result.extras))
         lines.extend(_render_opt_trials(result.extras))
     return "\n".join(lines)
 

@@ -332,6 +332,68 @@ def _builtin_specs() -> List[ScenarioSpec]:
             ),
         ),
         ScenarioSpec(
+            name="stress_flash_crowd",
+            title="Flash-crowd surge on the autoscaled diurnal Web Search fleet",
+            workload_set=SCALE_OUT,
+            workload_names=("Web Search",),
+            load_trace="diurnal",
+            fleet_size=8,
+            surge_start=10,
+            surge_steps=6,
+            surge_factor=2.0,
+            surge_shape="ramp",
+            analyses=("fleet_stress",),
+            notes=(
+                "Resilience stress: a 2x ramp surge lands on the morning "
+                "shoulder of the diurnal day, while the autoscaler still "
+                "has most of the fleet parked from the night trough; the "
+                "recovery metrics count the steps (and dropped-load "
+                "violations) until the woken servers absorb the crowd, "
+                "and the boot-grace fix keeps the ramp from thrashing "
+                "wake energy on its dips."
+            ),
+        ),
+        ScenarioSpec(
+            name="stress_node_crash",
+            title="Mid-peak node crash and restore on the diurnal Web Search fleet",
+            workload_set=SCALE_OUT,
+            workload_names=("Web Search",),
+            load_trace="diurnal",
+            fleet_size=8,
+            disturbances=(
+                ("node_crash", 0, 20),
+                ("node_restore", 0, 32),
+            ),
+            analyses=("fleet_stress",),
+            notes=(
+                "Failure injection at the daily peak: node 0 -- pack's "
+                "anchor, the first server every policy fills -- fails hard "
+                "at step 20 with its routed share dropped on the floor, "
+                "then comes back at step 32 through the autoscaler's "
+                "normal wake path.  Crash/restore schedules replay on the "
+                "columnar kernel bit-for-bit with the object path."
+            ),
+        ),
+        ScenarioSpec(
+            name="stress_thermal_cap",
+            title="Thermal capping of one server under bursty Data Serving",
+            workload_set=SCALE_OUT,
+            workload_names=("Data Serving",),
+            load_trace="bursty",
+            fleet_size=6,
+            disturbances=(("thermal_cap", 0, 30, 1.2e9),),
+            analyses=("fleet_stress",),
+            notes=(
+                "Partial-capacity failure: from step 30 node 0's reachable "
+                "grid is capped at 1.2 GHz (~60% of nominal capacity) "
+                "while it keeps receiving its full routed share, so burst "
+                "fronts overflow the capped node and recover in the lulls. "
+                "Thermal caps shrink a per-node platform view, which only "
+                "the object path models -- this scenario exercises the "
+                "reference fallback."
+            ),
+        ),
+        ScenarioSpec(
             name="colocation_mixed",
             title="Mixed scale-out + VM colocation sweep (beyond the paper)",
             workload_set=ALL_WORKLOADS,

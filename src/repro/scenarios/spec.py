@@ -118,6 +118,17 @@ class ScenarioSpec:
         Whether the fleet replay scales servers on/off against the
         default :class:`~repro.fleet.autoscaler.Autoscaler` band
         (``False`` keeps the whole fleet awake).
+    surge_start / surge_steps / surge_factor / surge_shape:
+        Flash-crowd overlay for the ``fleet_stress`` analysis: the
+        replayed trace is ``load_trace.with_surge(surge_start,
+        surge_steps, surge_factor, shape=surge_shape)`` when
+        ``surge_steps`` > 0 (``shape`` is ``"step"`` or ``"ramp"``).
+    disturbances:
+        Timed failure events for the ``fleet_stress`` analysis, as
+        plain tuples -- ``("node_crash", node_id, step)``,
+        ``("node_restore", node_id, step)``, ``("thermal_cap",
+        node_id, step, max_frequency_hz)`` -- resolved by
+        :meth:`disturbance_schedule`.
     opt_strategy:
         Search strategy name for the ``policy_opt`` analysis
         (:data:`repro.opt.strategies.STRATEGIES`: ``grid`` or
@@ -166,6 +177,11 @@ class ScenarioSpec:
     fleet_routings: Tuple[str, ...] = ()
     fleet_governor: str = "qos_tracker"
     fleet_autoscale: bool = True
+    surge_start: int = 0
+    surge_steps: int = 0
+    surge_factor: float = 1.0
+    surge_shape: str = "step"
+    disturbances: Tuple[tuple, ...] = ()
     opt_strategy: str = "grid"
     opt_fleet_sizes: Tuple[int, ...] = ()
     opt_governors: Tuple[str, ...] = ()
@@ -312,6 +328,35 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: unknown fleet governor "
                 f"{self.fleet_governor!r}; known governors: {known}"
             )
+        # Stress knobs: surge fields mirror LoadTrace.with_surge's
+        # contract, disturbance tuples must resolve to a valid schedule.
+        if self.surge_start < 0:
+            raise ValueError(
+                f"scenario {self.name!r}: surge_start must be >= 0, "
+                f"got {self.surge_start}"
+            )
+        if self.surge_steps < 0:
+            raise ValueError(
+                f"scenario {self.name!r}: surge_steps must be >= 0, "
+                f"got {self.surge_steps}"
+            )
+        if self.surge_steps > 0:
+            import math as _math
+
+            if not _math.isfinite(self.surge_factor) or self.surge_factor <= 0:
+                raise ValueError(
+                    f"scenario {self.name!r}: surge_factor must be positive "
+                    f"and finite, got {self.surge_factor}"
+                )
+            if self.surge_shape not in ("step", "ramp"):
+                raise ValueError(
+                    f"scenario {self.name!r}: surge_shape must be 'step' or "
+                    f"'ramp', got {self.surge_shape!r}"
+                )
+        try:
+            self.disturbance_schedule()
+        except (ValueError, TypeError) as error:
+            raise ValueError(f"scenario {self.name!r}: {error}") from None
         # Optimizer knobs are validated by the repro.opt package itself
         # (the space and strategy constructors carry the precise
         # errors); imported here to keep module import order acyclic.
@@ -360,6 +405,22 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: the policy_opt analysis needs "
                 "load_trace to be set"
             )
+        if "fleet_stress" in self.analyses:
+            if self.load_trace is None:
+                raise ValueError(
+                    f"scenario {self.name!r}: the fleet_stress analysis "
+                    "needs load_trace to be set"
+                )
+            if self.fleet_size is None:
+                raise ValueError(
+                    f"scenario {self.name!r}: the fleet_stress analysis "
+                    "needs fleet_size to be set"
+                )
+            if self.surge_steps == 0 and not self.disturbances:
+                raise ValueError(
+                    f"scenario {self.name!r}: the fleet_stress analysis "
+                    "needs a surge (surge_steps > 0) or disturbance events"
+                )
 
     # -- resolution -----------------------------------------------------------------
 
@@ -402,6 +463,19 @@ class ScenarioSpec:
                 configuration, frequency_grid=tuple(self.frequency_grid_hz)
             )
         return configuration
+
+    def disturbance_schedule(self):
+        """The ``disturbances`` tuples as a validated DisturbanceSchedule."""
+        from repro.fleet.disturbance import (
+            DisturbanceSchedule,
+            event_from_tuple,
+        )
+
+        return DisturbanceSchedule(
+            events=tuple(
+                event_from_tuple(tuple(data)) for data in self.disturbances
+            )
+        )
 
     def opt_param_space(self):
         """The ``policy_opt`` parameter space as a validated ParamSpace.

@@ -68,6 +68,96 @@ def test_permuted_reorders_steps_and_validates():
         trace.permuted([0, 0, 1])
 
 
+# -- composition ------------------------------------------------------------------------
+
+
+def test_surge_step_multiplies_the_window():
+    trace = LoadTrace(
+        name="t", step_seconds=60.0, utilization=(0.1, 0.2, 0.3, 0.4)
+    )
+    surged = trace.with_surge(start=1, steps=2, factor=2.0)
+    assert surged.name == "t+surge"
+    assert surged.step_seconds == 60.0
+    assert surged.utilization == (0.1, 0.4, 0.6, 0.4)
+
+
+def test_surge_window_is_clamped_to_the_trace_bounds():
+    trace = LoadTrace(name="t", step_seconds=60.0, utilization=(0.2, 0.2, 0.2))
+    # A window starting before the trace and running past its end only
+    # touches the steps that exist.
+    surged = trace.with_surge(start=-2, steps=10, factor=2.0)
+    assert surged.utilization == (0.4, 0.4, 0.4)
+    # A window entirely beyond the end is a no-op.
+    assert trace.with_surge(start=7, steps=3, factor=2.0).utilization == (
+        trace.utilization
+    )
+
+
+def test_saturated_surge_clips_at_one():
+    trace = LoadTrace(name="t", step_seconds=60.0, utilization=(0.6, 0.9))
+    surged = trace.with_surge(start=0, steps=2, factor=3.0)
+    assert surged.utilization == (1.0, 1.0)
+
+
+def test_ramp_surge_builds_linearly_to_the_factor():
+    trace = LoadTrace(
+        name="t", step_seconds=60.0, utilization=(0.1, 0.1, 0.1, 0.1)
+    )
+    surged = trace.with_surge(start=0, steps=4, factor=3.0, shape="ramp")
+    assert surged.utilization == pytest.approx((0.15, 0.2, 0.25, 0.3))
+
+
+def test_surge_rejects_bad_parameters():
+    trace = LoadTrace.constant(0.5, steps=4)
+    with pytest.raises(ValueError, match="at least one step"):
+        trace.with_surge(start=0, steps=0, factor=2.0)
+    with pytest.raises(ValueError, match="positive and finite"):
+        trace.with_surge(start=0, steps=2, factor=-1.0)
+    with pytest.raises(ValueError, match="unknown surge shape"):
+        trace.with_surge(start=0, steps=2, factor=2.0, shape="cliff")
+
+
+def test_concat_appends_and_checks_resolution():
+    left = LoadTrace(name="l", step_seconds=60.0, utilization=(0.1, 0.2))
+    right = LoadTrace(name="r", step_seconds=60.0, utilization=(0.3,))
+    joined = left.concat(right)
+    assert joined.name == "l+r"
+    assert joined.utilization == (0.1, 0.2, 0.3)
+    mismatched = LoadTrace(name="m", step_seconds=30.0, utilization=(0.3,))
+    with pytest.raises(ValueError, match="mismatched step_seconds"):
+        left.concat(mismatched)
+
+
+def test_scale_multiplies_and_clips():
+    trace = LoadTrace(name="t", step_seconds=60.0, utilization=(0.3, 0.8))
+    scaled = trace.scale(1.5)
+    assert scaled.name == "tx1.5"
+    assert scaled.utilization == pytest.approx((0.45, 1.0))
+    with pytest.raises(ValueError, match="positive and finite"):
+        trace.scale(0.0)
+
+
+def test_composed_traces_are_deterministic_in_the_seed():
+    def build(seed):
+        return (
+            LoadTrace.diurnal(seed=seed)
+            .with_surge(start=10, steps=6, factor=2.0, shape="ramp")
+            .concat(LoadTrace.diurnal(seed=seed).scale(1.3))
+        )
+
+    assert build(7) == build(7)
+    assert build(7) != build(8)
+
+
+def test_bitbrains_all_idle_population_raises_a_precise_error():
+    class AllIdleModel:
+        def samples(self):
+            return [type("VM", (), {"cpu_utilization": 0.0})()] * 16
+
+    with pytest.raises(ValueError, match="all-idle"):
+        LoadTrace.from_bitbrains(steps=4, model=AllIdleModel(), seed=1)
+
+
 # -- generators -------------------------------------------------------------------------
 
 

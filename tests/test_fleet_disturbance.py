@@ -1,0 +1,479 @@
+"""Tests for timed failure injection and the resilience metrics.
+
+Covers the disturbance data model (event/schedule validation), the
+crash / restore / thermal-cap semantics on the object path, bit-for-bit
+kernel parity for crash/restore schedules, the batch runner's fallback
+for disturbed replays, and the two robustness bugfixes the disturbance
+sweeps exposed (boot-grace and cold-start utilisation).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dvfs import LoadTrace, governor_by_name
+from repro.fleet import (
+    Autoscaler,
+    DisturbanceEvent,
+    DisturbanceSchedule,
+    FleetSimulator,
+    NodeState,
+    ServerNode,
+    event_from_tuple,
+    load_surge,
+    node_crash,
+    node_restore,
+    thermal_cap,
+)
+from repro.kernels.batch import BatchReplayRunner, ReplaySpec
+from repro.workloads.cloudsuite import WEB_SEARCH
+
+
+@pytest.fixture(scope="module")
+def crash_fleet(default_context):
+    """A 4-server static Web Search fleet for disturbance replays."""
+    return FleetSimulator(default_context, WEB_SEARCH, fleet_size=4)
+
+
+# -- event validation -------------------------------------------------------------------
+
+
+def test_unknown_event_kind_is_rejected():
+    with pytest.raises(ValueError, match="unknown disturbance kind"):
+        DisturbanceEvent(kind="meteor_strike", step=3, node_id=0)
+
+
+def test_negative_step_is_rejected():
+    with pytest.raises(ValueError, match="step must be >= 0"):
+        node_crash(0, -1)
+
+
+def test_node_events_need_a_node_id():
+    with pytest.raises(ValueError, match="needs a node_id"):
+        DisturbanceEvent(kind="node_crash", step=2)
+    with pytest.raises(ValueError, match="needs a node_id"):
+        DisturbanceEvent(kind="node_restore", step=2, node_id=-1)
+
+
+def test_load_surge_takes_no_node_id():
+    with pytest.raises(ValueError, match="no node_id"):
+        DisturbanceEvent(kind="load_surge", step=2, node_id=0)
+
+
+@pytest.mark.parametrize("cap", [None, 0.0, -1e9, float("nan"), float("inf")])
+def test_thermal_cap_needs_a_positive_finite_frequency(cap):
+    with pytest.raises(ValueError, match="max_frequency_hz"):
+        DisturbanceEvent(
+            kind="thermal_cap", step=2, node_id=0, max_frequency_hz=cap
+        )
+
+
+def test_only_thermal_cap_takes_a_frequency():
+    with pytest.raises(ValueError, match="only thermal_cap"):
+        DisturbanceEvent(
+            kind="node_crash", step=2, node_id=0, max_frequency_hz=1e9
+        )
+
+
+def test_event_from_tuple_round_trips_all_kinds():
+    assert event_from_tuple(("node_crash", 1, 5)) == node_crash(1, 5)
+    assert event_from_tuple(("node_restore", 1, 9)) == node_restore(1, 9)
+    assert event_from_tuple(("thermal_cap", 0, 3, 1.2e9)) == thermal_cap(
+        0, 3, 1.2e9
+    )
+    assert event_from_tuple(("load_surge", 7)) == load_surge(7)
+
+
+def test_event_from_tuple_rejects_malformed_data():
+    with pytest.raises(ValueError, match="empty disturbance tuple"):
+        event_from_tuple(())
+    with pytest.raises(ValueError, match="unknown disturbance kind"):
+        event_from_tuple(("comet", 1, 2))
+    with pytest.raises(ValueError, match="malformed node_crash"):
+        event_from_tuple(("node_crash", 1))
+
+
+# -- schedule validation ----------------------------------------------------------------
+
+
+def test_schedule_rejects_non_events():
+    with pytest.raises(TypeError, match="DisturbanceEvent"):
+        DisturbanceSchedule(events=(("node_crash", 0, 2),))
+
+
+def test_schedule_rejects_duplicates_and_conflicts():
+    with pytest.raises(ValueError, match="duplicate node_crash"):
+        DisturbanceSchedule(events=(node_crash(0, 2), node_crash(0, 2)))
+    with pytest.raises(ValueError, match="conflicting events for node 0"):
+        DisturbanceSchedule(events=(node_crash(0, 2), node_restore(0, 2)))
+
+
+def test_schedule_rejects_unpaired_restores_and_double_crashes():
+    with pytest.raises(ValueError, match="without a preceding crash"):
+        DisturbanceSchedule(events=(node_restore(1, 4),))
+    with pytest.raises(ValueError, match="crashes again"):
+        DisturbanceSchedule(events=(node_crash(1, 2), node_crash(1, 6)))
+    # A proper crash -> restore -> crash chain is fine.
+    DisturbanceSchedule(
+        events=(node_crash(1, 2), node_restore(1, 4), node_crash(1, 6))
+    )
+
+
+def test_validate_for_checks_fleet_and_trace_bounds():
+    schedule = DisturbanceSchedule(events=(node_crash(5, 10),))
+    with pytest.raises(ValueError, match="nodes 0..3"):
+        schedule.validate_for(fleet_size=4, steps=24)
+    with pytest.raises(ValueError, match="beyond the trace"):
+        schedule.validate_for(fleet_size=8, steps=10)
+    schedule.validate_for(fleet_size=8, steps=24)
+
+
+def test_schedule_views():
+    schedule = DisturbanceSchedule(
+        events=(node_crash(0, 2), node_restore(0, 6), load_surge(4))
+    )
+    assert len(schedule) == 3 and bool(schedule)
+    assert not DisturbanceSchedule()
+    assert schedule.kinds == ("node_crash", "node_restore", "load_surge")
+    assert schedule.max_step == 6
+    assert schedule.events_at(4) == (load_surge(4),)
+    assert schedule.events_at(2, kind="node_restore") == ()
+    assert schedule.kernel_supported
+    capped = schedule.with_events(thermal_cap(1, 3, 1.2e9))
+    assert len(capped) == 4 and not capped.kernel_supported
+    assert DisturbanceSchedule().max_step == -1
+
+
+def test_replay_spec_disturbances_need_a_fleet():
+    schedule = DisturbanceSchedule(events=(node_crash(0, 2),))
+    with pytest.raises(ValueError, match="needs a fleet_size"):
+        ReplaySpec(
+            workload=WEB_SEARCH,
+            trace=LoadTrace.constant(0.5, steps=8),
+            disturbances=schedule,
+        )
+
+
+# -- node-level semantics ---------------------------------------------------------------
+
+
+def test_crashed_node_cannot_wake_until_recovered(websearch_simulator):
+    node = ServerNode(
+        node_id=0,
+        governor=governor_by_name("qos_tracker"),
+        simulator=websearch_simulator,
+    )
+    node.crash()
+    assert node.failed and node.state is NodeState.OFF
+    node.crash()  # idempotent
+    with pytest.raises(ValueError, match="crashed"):
+        node.wake(boot_steps=0)
+    node.recover()
+    assert not node.failed
+    node.wake(boot_steps=0)
+    assert node.state is NodeState.SERVING
+    with pytest.raises(ValueError, match="nothing to recover"):
+        node.recover()
+
+
+def test_thermal_cap_shrinks_the_grid_and_clamps_history(websearch_simulator):
+    node = ServerNode(
+        node_id=0,
+        governor=governor_by_name("performance"),
+        simulator=websearch_simulator,
+    )
+    full = websearch_simulator.platform
+    assert node.previous_frequency_hz == full.nominal_frequency_hz
+    node.apply_thermal_cap(1.2e9)
+    assert node.platform.frequencies[-1] <= 1.2e9
+    assert node.platform.frequencies == tuple(
+        f for f in full.frequencies if f <= 1.2e9
+    )
+    # The DVFS anchor is clamped onto the capped grid ...
+    assert node.previous_frequency_hz == node.platform.frequencies[-1]
+    # ... while the demand reference stays the full platform's nominal.
+    assert node.nominal_capacity_uips == full.nominal_capacity_uips
+    node.clear_thermal_cap()
+    assert node.platform.frequencies == full.frequencies
+
+
+def test_thermal_cap_below_the_grid_bottom_is_rejected(websearch_simulator):
+    node = ServerNode(
+        node_id=2,
+        governor=governor_by_name("qos_tracker"),
+        simulator=websearch_simulator,
+    )
+    with pytest.raises(ValueError, match="no reachable frequency"):
+        node.apply_thermal_cap(websearch_simulator.platform.min_frequency_hz / 2)
+
+
+# -- replay semantics -------------------------------------------------------------------
+
+
+def test_crash_drops_the_routed_share_then_respreads(crash_fleet):
+    trace = LoadTrace.constant(0.4, steps=12, step_seconds=60.0)
+    schedule = DisturbanceSchedule(events=(node_crash(0, 5),))
+    result = crash_fleet.run(trace, "round_robin", disturbances=schedule)
+    violations = result.column("violation")
+    # The crash lands after routing: node 0's share for step 5 is
+    # dropped (stale-view violation), then step 6 re-spreads over the
+    # three survivors and the fleet is clean again.
+    assert bool(violations[5])
+    assert not violations[6:].any()
+    assert result.node_column(0, "state")[5:].max() == int(NodeState.OFF)
+    served = result.column("served_uips") / result.column("offered_uips")
+    assert served[5] == pytest.approx(0.75)
+    assert served[6] == pytest.approx(1.0)
+
+
+def test_static_restore_serves_immediately_without_wake_energy(crash_fleet):
+    trace = LoadTrace.constant(0.4, steps=12, step_seconds=60.0)
+    schedule = DisturbanceSchedule(
+        events=(node_crash(0, 3), node_restore(0, 7))
+    )
+    result = crash_fleet.run(trace, "round_robin", disturbances=schedule)
+    states = result.node_column(0, "state")
+    assert states[3] == int(NodeState.OFF)
+    assert states[7] == int(NodeState.SERVING)
+    # A static fleet has no autoscaler: the restore re-admits the node
+    # directly with no wake event and no wake energy on the ledger.
+    assert result.wake_count == 0
+    assert result.disturbance_events == schedule.events
+
+
+def test_autoscaled_restore_readmits_through_the_wake_path(default_context):
+    simulator = FleetSimulator(
+        default_context,
+        WEB_SEARCH,
+        fleet_size=2,
+        autoscaler=Autoscaler(low=0.35, high=0.75, wake_steps=1),
+    )
+    trace = LoadTrace.constant(0.9, steps=16, step_seconds=60.0)
+    schedule = DisturbanceSchedule(
+        events=(node_crash(1, 4), node_restore(1, 8))
+    )
+    result = simulator.run(trace, "least_loaded", disturbances=schedule)
+    states = result.node_column(1, "state")
+    # While failed the node stays OFF even though the half-fleet is
+    # overloaded; once restored the autoscaler wakes it again.
+    assert (states[4:8] == int(NodeState.OFF)).all()
+    assert int(NodeState.SERVING) in states[8:]
+    assert result.wake_count >= 1
+
+
+def test_thermal_cap_forces_the_reference_path_and_caps_the_node(crash_fleet):
+    trace = LoadTrace.constant(0.95, steps=10, step_seconds=60.0)
+    schedule = DisturbanceSchedule(events=(thermal_cap(0, 2, 1.2e9),))
+    assert not schedule.kernel_supported
+    result = crash_fleet.run(trace, "round_robin", disturbances=schedule)
+    frequencies = result.node_column(0, "frequency_hz")
+    assert (frequencies[2:] <= 1.2e9).all()
+    # Uncapped peers keep buying the full grid for the same share.
+    assert frequencies[2:].max() < result.node_column(1, "frequency_hz")[2:].max()
+
+
+def test_disturbed_replay_rejects_out_of_range_events(crash_fleet):
+    trace = LoadTrace.constant(0.4, steps=8, step_seconds=60.0)
+    with pytest.raises(ValueError, match="nodes 0..3"):
+        crash_fleet.run(
+            trace,
+            "round_robin",
+            disturbances=DisturbanceSchedule(events=(node_crash(9, 2),)),
+        )
+
+
+# -- kernel parity ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("routing", ["round_robin", "spread", "pack", "least_loaded"])
+@pytest.mark.parametrize("autoscaled", [False, True], ids=["static", "autoscaled"])
+def test_crash_restore_kernel_matches_reference(
+    default_context, routing, autoscaled
+):
+    simulator = FleetSimulator(
+        default_context,
+        WEB_SEARCH,
+        fleet_size=5,
+        autoscaler=Autoscaler() if autoscaled else None,
+    )
+    trace = LoadTrace.diurnal(steps=30)
+    schedule = DisturbanceSchedule(
+        events=(node_crash(0, 8), node_restore(0, 14), load_surge(20))
+    )
+    kernel = simulator.run(trace, routing, disturbances=schedule)
+    reference = simulator.run(
+        trace, routing, reference=True, disturbances=schedule
+    )
+    for name in ("energy_j", "violation", "served_uips", "serving_servers"):
+        np.testing.assert_array_equal(
+            kernel.column(name), reference.column(name), err_msg=name
+        )
+    for node_id in kernel.node_ids:
+        for name in ("state", "frequency_hz", "energy_j"):
+            np.testing.assert_array_equal(
+                kernel.node_column(node_id, name),
+                reference.node_column(node_id, name),
+                err_msg=f"node {node_id} {name}",
+            )
+    assert kernel.summary() == reference.summary()
+    assert kernel.resilience() == reference.resilience()
+
+
+def test_batch_runner_falls_back_for_disturbed_replays(default_context):
+    trace = LoadTrace.diurnal(steps=24)
+    schedule = DisturbanceSchedule(events=(node_crash(1, 6),))
+    disturbed = ReplaySpec(
+        workload=WEB_SEARCH,
+        trace=trace,
+        fleet_size=4,
+        routing="spread",
+        autoscaler=Autoscaler(),
+        disturbances=schedule,
+    )
+    clean = ReplaySpec(
+        workload=WEB_SEARCH,
+        trace=trace,
+        fleet_size=4,
+        routing="spread",
+        autoscaler=Autoscaler(),
+    )
+    runner = BatchReplayRunner(default_context)
+    batch = runner.run([disturbed, clean])
+    # The disturbed spec bypasses the batched kernel; the clean one
+    # still rides it.
+    assert batch.fallback_count == 1
+    assert batch.batched_count == 1
+    simulator = FleetSimulator(
+        default_context, WEB_SEARCH, fleet_size=4, autoscaler=Autoscaler()
+    )
+    direct = simulator.run(trace, "spread", disturbances=schedule)
+    assert batch.result(0).summary() == direct.summary()
+    assert batch.result(0).resilience() == direct.resilience()
+
+
+# -- resilience metrics -----------------------------------------------------------------
+
+
+def test_resilience_reports_recovery_per_event(crash_fleet):
+    trace = LoadTrace.constant(0.4, steps=12, step_seconds=60.0)
+    schedule = DisturbanceSchedule(
+        events=(node_crash(0, 3), node_restore(0, 7))
+    )
+    result = crash_fleet.run(trace, "round_robin", disturbances=schedule)
+    assert result.recovery_after(3) == 1
+    assert result.recovery_after(7) == 0
+    metrics = result.resilience()
+    crash_row, restore_row = metrics["events"]
+    assert crash_row["kind"] == "node_crash"
+    assert crash_row["recovery_time_steps"] == 1
+    assert crash_row["violations_during_respread"] == 1
+    assert restore_row["recovery_time_steps"] == 0
+    assert restore_row["violations_during_respread"] == 0
+    assert metrics["max_recovery_time_steps"] == 1
+    assert metrics["unrecovered_events"] == 0
+    assert metrics["surge_peak_energy_j"] == result.surge_peak_energy_j
+    assert metrics["surge_peak_energy_j"] == pytest.approx(
+        result.column("energy_j").max()
+    )
+
+
+def test_resilience_counts_unrecovered_events(crash_fleet):
+    trace = LoadTrace.constant(0.4, steps=8, step_seconds=60.0)
+    schedule = DisturbanceSchedule(events=(node_crash(0, 7),))
+    result = crash_fleet.run(trace, "round_robin", disturbances=schedule)
+    # The crash lands on the last step: the trace ends before the fleet
+    # re-spreads, so the event never recovers.
+    assert result.recovery_after(7) is None
+    metrics = result.resilience()
+    assert metrics["events"][0]["recovery_time_steps"] is None
+    assert metrics["events"][0]["violations_during_respread"] == 1
+    assert metrics["unrecovered_events"] == 1
+
+
+def test_undisturbed_result_has_empty_resilience(crash_fleet):
+    result = crash_fleet.run(
+        LoadTrace.constant(0.4, steps=4, step_seconds=60.0), "round_robin"
+    )
+    metrics = result.resilience()
+    assert metrics["events"] == []
+    assert metrics["max_recovery_time_steps"] == 0
+    assert metrics["unrecovered_events"] == 0
+
+
+# -- bugfix regressions -----------------------------------------------------------------
+
+
+def test_flash_crowd_ramp_wakes_each_node_once(default_context):
+    """Boot-grace regression: no park/re-wake thrash during a ramp.
+
+    On a monotonic flash-crowd ramp every node the fleet ends up
+    needing should be woken exactly once.  Before the boot-grace fix a
+    node still booting on the next step's (lower-looking) serving
+    utilisation could be parked mid-boot and re-woken a step later,
+    double-charging the wake energy.
+    """
+    simulator = FleetSimulator(
+        default_context,
+        WEB_SEARCH,
+        fleet_size=8,
+        autoscaler=Autoscaler(low=0.35, high=0.75, wake_steps=2),
+    )
+    base = LoadTrace.constant(0.15, steps=6, step_seconds=60.0)
+    ramp = base.concat(
+        LoadTrace.constant(0.15, steps=18, step_seconds=60.0).with_surge(
+            0, 18, factor=6.0, shape="ramp"
+        )
+    )
+    result = simulator.run(ramp, "pack")
+    first_serving = int(result.column("serving_servers")[0])
+    peak_serving = result.peak_serving_servers
+    assert peak_serving > first_serving
+    assert result.wake_count == peak_serving - first_serving
+
+
+def test_cold_start_utilisation_uses_booting_capacity(websearch_simulator):
+    """Cold-start regression: a booting-only fleet is not 'infinitely hot'.
+
+    With zero serving nodes the old ``mass / len(serving)`` divided by
+    zero, read infinite utilisation on every boot step, and woke the
+    whole fleet.  Utilisation now falls back to the booting capacity,
+    so an in-flight boot that already covers the load wakes nothing.
+    """
+    scaler = Autoscaler(low=0.35, high=0.75, wake_steps=2)
+    nodes = [
+        ServerNode(
+            node_id=i,
+            governor=governor_by_name("qos_tracker"),
+            simulator=websearch_simulator,
+            serving=False,
+        )
+        for i in range(4)
+    ]
+    nodes[0].wake(boot_steps=2)
+    decision = scaler.scale(mass=0.5, nodes=nodes)
+    # util = 0.5 / 1 booting = 0.5, inside the band: hold.
+    assert decision.woken == () and decision.parked == ()
+    assert sum(1 for n in nodes if n.state is NodeState.BOOTING) == 1
+    # With nothing powered on at all, utilisation is infinite and the
+    # scaler must wake capacity.
+    nodes[0].shut_down()
+    decision = scaler.scale(mass=0.5, nodes=nodes)
+    assert len(decision.woken) >= 1
+
+
+def test_mass_zero_at_step_zero_keeps_min_servers(default_context):
+    simulator = FleetSimulator(
+        default_context,
+        WEB_SEARCH,
+        fleet_size=4,
+        autoscaler=Autoscaler(min_servers=1),
+    )
+    trace = LoadTrace(
+        name="cold", step_seconds=60.0, utilization=(0.0, 0.0, 0.3, 0.3)
+    )
+    kernel = simulator.run(trace, "pack")
+    reference = simulator.run(trace, "pack", reference=True)
+    assert kernel.summary() == reference.summary()
+    assert int(kernel.column("serving_servers")[0]) == 1
+    assert not math.isnan(kernel.total_energy_j)

@@ -179,15 +179,32 @@ def test_autoscaler_parks_highest_id_serving_nodes(websearch_simulator):
     assert nodes[0].state is NodeState.SERVING
 
 
-def test_autoscaler_parks_booting_nodes_first(websearch_simulator):
+def test_autoscaler_boot_grace_keeps_in_flight_boots(websearch_simulator):
     scaler = Autoscaler(low=0.35, high=0.75)
     nodes = make_nodes(websearch_simulator, "ssb")
     decision = scaler.scale(mass=0.6, nodes=nodes)  # util 0.3 < low
-    # desired = ceil(0.6 / 0.55) = 2 of 3 active: the booting node goes
-    # first (it serves nothing yet), both serving nodes stay up.
-    assert decision.parked == (2,)
-    assert nodes[2].state is NodeState.OFF
+    # desired = ceil(0.6 / 0.55) = 2 of 3 active, but desired still
+    # covers the 2 serving nodes: the in-flight boot is left alone
+    # instead of being parked (and re-woken, double-charging wake
+    # energy) on a one-step dip.
+    assert decision.parked == ()
+    assert nodes[2].state is NodeState.BOOTING
     assert nodes[1].state is NodeState.SERVING
+    assert nodes[0].state is NodeState.SERVING
+
+
+def test_autoscaler_parks_booting_nodes_first_on_a_deep_dip(
+    websearch_simulator,
+):
+    scaler = Autoscaler(low=0.35, high=0.75)
+    nodes = make_nodes(websearch_simulator, "ssb")
+    decision = scaler.scale(mass=0.2, nodes=nodes)  # util 0.1 < low
+    # desired = ceil(0.2 / 0.55) = 1 < 2 serving: a real scale-down.
+    # The booting node goes first (it serves nothing yet), then the
+    # highest-id serving node; node 0 stays up.
+    assert decision.parked == (2, 1)
+    assert nodes[2].state is NodeState.OFF
+    assert nodes[1].state is NodeState.OFF
     assert nodes[0].state is NodeState.SERVING
 
 

@@ -223,12 +223,16 @@ def test_routing_kernels_reject_an_empty_active_set():
 
     with pytest.raises(ValueError, match="no active node"):
         _even_split_shares(np.array([1.0]), np.zeros((2, 1), dtype=bool))
+    state2d = np.zeros((2, 1), dtype=np.int8)
     timeline = _StateTimeline(
-        state2d=np.zeros((2, 1), dtype=np.int8),
+        state2d=state2d,
+        route_state2d=state2d,
         wake_counts=np.zeros(1, dtype=np.int64),
         woken=[[]],
+        restarted=[[]],
         serving_ids=[[]],
         active_ids=[[]],
+        select_ids=[[]],
     )
     with pytest.raises(ValueError, match="no active node"):
         _pack_shares(PackRouting(), [1.0], timeline, fleet_size=2)

@@ -531,3 +531,80 @@ def test_fleet_scenarios_are_registered_with_goldens():
         spec = get_scenario(name)
         assert "fleet_replay" in spec.analyses
         assert spec.fleet_size is not None and spec.load_trace is not None
+
+
+# -- stress spec fields -----------------------------------------------------------------
+
+
+def _stress_spec(**overrides):
+    fields = dict(
+        name="stress_probe",
+        title="stress validation probe",
+        workload_names=("Web Search",),
+        load_trace="diurnal",
+        fleet_size=4,
+        surge_start=8,
+        surge_steps=4,
+        surge_factor=2.0,
+        analyses=("fleet_stress",),
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+def test_stress_spec_accepts_valid_fields():
+    spec = _stress_spec(surge_shape="ramp")
+    assert spec.surge_steps == 4
+    assert len(spec.disturbance_schedule()) == 0
+
+
+def test_stress_spec_rejects_bad_surge_fields():
+    with pytest.raises(ValueError, match="surge_start must be >= 0"):
+        _stress_spec(surge_start=-1)
+    with pytest.raises(ValueError, match="surge_steps must be >= 0"):
+        _stress_spec(surge_steps=-2)
+    with pytest.raises(ValueError, match="surge_factor must be positive"):
+        _stress_spec(surge_factor=0.0)
+    with pytest.raises(ValueError, match="surge_shape must be"):
+        _stress_spec(surge_shape="cliff")
+
+
+def test_stress_spec_validates_disturbance_tuples():
+    spec = _stress_spec(
+        surge_steps=0,
+        disturbances=(("node_crash", 0, 6), ("node_restore", 0, 10)),
+    )
+    schedule = spec.disturbance_schedule()
+    assert len(schedule) == 2 and schedule.kernel_supported
+    with pytest.raises(ValueError, match="stress_probe.*unknown disturbance"):
+        _stress_spec(disturbances=(("comet", 0, 6),))
+    with pytest.raises(ValueError, match="without a preceding crash"):
+        _stress_spec(disturbances=(("node_restore", 0, 6),))
+
+
+def test_fleet_stress_analysis_needs_a_stressor():
+    with pytest.raises(ValueError, match="needs a surge"):
+        _stress_spec(surge_steps=0)
+    with pytest.raises(ValueError, match="needs fleet_size"):
+        _stress_spec(fleet_size=None)
+    with pytest.raises(ValueError, match="needs load_trace"):
+        _stress_spec(load_trace=None)
+
+
+def test_stress_scenarios_are_registered_with_goldens():
+    for name in (
+        "stress_flash_crowd",
+        "stress_node_crash",
+        "stress_thermal_cap",
+    ):
+        spec = get_scenario(name)
+        assert "fleet_stress" in spec.analyses
+        assert spec.fleet_size is not None and spec.load_trace is not None
+    assert get_scenario("stress_flash_crowd").surge_steps > 0
+    assert get_scenario("stress_node_crash").disturbance_schedule().kinds == (
+        "node_crash",
+        "node_restore",
+    )
+    assert not get_scenario(
+        "stress_thermal_cap"
+    ).disturbance_schedule().kernel_supported
