@@ -6,10 +6,48 @@ crossovers fall), while pytest-benchmark times the underlying model
 evaluation.
 """
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
+from repro import obs
 from repro.core.config import default_server
 from repro.utils.units import mhz
+
+
+@pytest.fixture()
+def bench_artifact():
+    """The shared ``BENCH_*.json`` artifact writer.
+
+    Every benchmark emits one gitignored machine-readable artifact that
+    CI archives; this fixture owns the shared conventions -- the
+    ``BENCH_<NAME>_JSON`` env-var redirect, the default
+    ``BENCH_<name>.json`` filename, strict sorted-key JSON with a
+    trailing newline -- and embeds the run's :mod:`repro.obs` counter
+    snapshot under ``obs_counters`` (the fixture keeps a capture open
+    for the test's duration, so the snapshot covers exactly this
+    benchmark's cache hits, replay counts and dedup ratios).
+
+    Usage: ``out_path = bench_artifact("fleet", artifact)``.
+    """
+    with obs.capture() as capture:
+
+        def write(name: str, payload: dict) -> Path:
+            out_path = Path(
+                os.environ.get(
+                    f"BENCH_{name.upper()}_JSON", f"BENCH_{name}.json"
+                )
+            )
+            artifact = dict(payload)
+            artifact["obs_counters"] = capture.counter_deltas()
+            out_path.write_text(
+                json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+            )
+            return out_path
+
+        yield write
 
 
 @pytest.fixture(scope="session")

@@ -19,10 +19,7 @@ Emits a machine-readable ``BENCH_batch.json`` artifact (set
 trajectory.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 from repro.core.config import default_server
 from repro.dvfs import GOVERNORS, GovernorSimulator, LoadTrace
@@ -48,7 +45,7 @@ def _best_of(function, repeats=_REPEATS) -> float:
     return best
 
 
-def test_bench_batch_replay(benchmark):
+def test_bench_batch_replay(benchmark, bench_artifact):
     context = ModelContext(default_server())
     traces = [
         LoadTrace.bursty(steps=_STEPS, seed=seed) for seed in range(_SEEDS)
@@ -171,8 +168,7 @@ def test_bench_batch_replay(benchmark):
             "speedup": single_speedup,
         },
     }
-    out_path = Path(os.environ.get("BENCH_BATCH_JSON", "BENCH_batch.json"))
-    out_path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    out_path = bench_artifact("batch", artifact)
     print(
         f"wrote {out_path} (fleet {fleet_speedup:.1f}x, "
         f"single {single_speedup:.1f}x)"

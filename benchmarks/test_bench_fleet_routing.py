@@ -16,10 +16,7 @@ The run also emits a machine-readable ``BENCH_fleet.json`` artifact
 trajectory; set ``BENCH_FLEET_JSON`` to redirect it.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 from repro.dvfs import LoadTrace
 from repro.fleet import Autoscaler, CostModel, FleetSimulator
@@ -41,7 +38,7 @@ def _compare(configuration, trace):
     return results
 
 
-def test_bench_fleet_routing(benchmark, server_configuration):
+def test_bench_fleet_routing(benchmark, server_configuration, bench_artifact):
     trace = LoadTrace.diurnal()
     started = time.perf_counter()
     results = benchmark(_compare, server_configuration, trace)
@@ -123,6 +120,5 @@ def test_bench_fleet_routing(benchmark, server_configuration):
     base_cost = cost_model.rollup(baseline)["cost_per_million_requests"]
     assert pack_cost < base_cost
 
-    out_path = Path(os.environ.get("BENCH_FLEET_JSON", "BENCH_fleet.json"))
-    out_path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    out_path = bench_artifact("fleet", artifact)
     print(f"wrote {out_path} (pack vs static round_robin: {saving:.1%} less energy/request)")

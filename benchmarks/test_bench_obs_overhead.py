@@ -1,0 +1,164 @@
+"""Instrumentation overhead guard: the disabled off-path must be free.
+
+The ``repro.obs`` switch is off by default and every instrumented hot
+path pays one boolean check per event, so leaving the probes compiled
+in must not tax production replays.  This benchmark pins that down on
+the same ``fleet_bitbrains_consolidation`` kernel replay the speedup
+benchmark times:
+
+* count exactly how many ``obs.trace`` / ``obs.count`` call sites fire
+  during one replay (by wrapping both entry points);
+* measure the per-call cost of the disabled path in a tight loop;
+* assert that ``events x per_event_cost`` stays under **2%** of the
+  replay's disabled wall time.
+
+The enabled/disabled wall ratio is reported alongside (unasserted --
+capturing is allowed to cost something; only the off-path is guarded).
+Emits a machine-readable ``BENCH_obs.json`` artifact (set
+``BENCH_OBS_JSON`` to redirect it) so CI can archive the overhead
+trajectory.
+"""
+
+import time
+
+from repro import obs
+from repro.dvfs import LoadTrace
+from repro.fleet import Autoscaler, FleetSimulator
+from repro.scenarios import REGISTRY
+from repro.sweep.context import ModelContext
+from repro.utils.tables import format_table
+
+SCENARIO = "fleet_bitbrains_consolidation"
+MAX_DISABLED_OVERHEAD = 0.02
+_REPEATS = 5
+_PROBE_CALLS = 100_000
+
+
+def _best_of(function, repeats=_REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_bench_obs_overhead(benchmark, bench_artifact):
+    spec = REGISTRY.get(SCENARIO)
+    context = ModelContext(
+        spec.configuration(), degradation_bound=spec.degradation_bound
+    )
+    trace = LoadTrace.from_bitbrains()
+    simulators = {
+        name: FleetSimulator(
+            context,
+            workload,
+            fleet_size=spec.fleet_size,
+            governor=spec.fleet_governor,
+            autoscaler=Autoscaler() if spec.fleet_autoscale else None,
+        )
+        for name, workload in spec.workloads().items()
+    }
+    for simulator in simulators.values():
+        simulator._sim.table  # warm the frequency table ...
+        simulator._sim.platform  # ... and the reference platform view
+
+    def run_fleet() -> dict:
+        return {
+            name: simulator.compare(trace, spec.fleet_routings)
+            for name, simulator in simulators.items()
+        }
+
+    # How many instrumentation call sites does one replay hit?  Wrap
+    # the two entry points the hot paths call (they resolve ``obs.trace``
+    # at call time, so swapping the package attributes is exact).
+    calls = {"trace": 0, "count": 0}
+    real_trace, real_count = obs.trace, obs.count
+
+    def counting_trace(name, **attributes):
+        calls["trace"] += 1
+        return real_trace(name, **attributes)
+
+    def counting_count(name, value=1):
+        calls["count"] += 1
+        return real_count(name, value)
+
+    obs.trace, obs.count = counting_trace, counting_count
+    try:
+        with obs.suspended():
+            run_fleet()
+    finally:
+        obs.trace, obs.count = real_trace, real_count
+    events = calls["trace"] + calls["count"]
+    assert events > 0, "the kernel replay should hit instrumented paths"
+
+    # The disabled path: no allocation (a shared null span), and a
+    # per-call cost measured in a tight loop.
+    with obs.suspended():
+        assert not obs.is_enabled()
+        assert obs.trace("obs_probe") is obs.trace("obs_probe", k=1)
+        started = time.perf_counter()
+        for _ in range(_PROBE_CALLS):
+            obs.trace("obs_probe")
+        trace_call_s = (time.perf_counter() - started) / _PROBE_CALLS
+        started = time.perf_counter()
+        for _ in range(_PROBE_CALLS):
+            obs.count("obs_probe")
+        count_call_s = (time.perf_counter() - started) / _PROBE_CALLS
+
+        # The headline number: the replay with instrumentation off.
+        benchmark(run_fleet)
+        disabled_s = _best_of(run_fleet)
+
+    # The bench_artifact fixture holds a capture open, so outside the
+    # suspended block the instrumented (enabled) path is live.
+    assert obs.is_enabled()
+    enabled_s = _best_of(run_fleet)
+    enabled_ratio = enabled_s / disabled_s
+
+    overhead_s = calls["trace"] * trace_call_s + calls["count"] * count_call_s
+    overhead_fraction = overhead_s / disabled_s
+
+    print()
+    print(f"Instrumentation overhead on the {SCENARIO} kernel replay")
+    print(
+        format_table(
+            ("measurement", "value"),
+            [
+                ("replay wall, disabled (ms)", f"{disabled_s * 1e3:.1f}"),
+                ("replay wall, enabled (ms)", f"{enabled_s * 1e3:.1f}"),
+                ("enabled/disabled ratio", f"{enabled_ratio:.3f}"),
+                ("trace() call sites", calls["trace"]),
+                ("count() call sites", calls["count"]),
+                ("disabled trace() (ns)", f"{trace_call_s * 1e9:.0f}"),
+                ("disabled count() (ns)", f"{count_call_s * 1e9:.0f}"),
+                ("off-path overhead", f"{overhead_fraction:.5%}"),
+            ],
+        )
+    )
+
+    artifact = {
+        "benchmark": "obs_overhead",
+        "scenario": SCENARIO,
+        "trace": trace.summary(),
+        "events": {"trace": calls["trace"], "count": calls["count"]},
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "enabled_ratio": enabled_ratio,
+        "trace_call_ns": trace_call_s * 1e9,
+        "count_call_ns": count_call_s * 1e9,
+        "overhead_fraction": overhead_fraction,
+        "max_overhead_fraction": MAX_DISABLED_OVERHEAD,
+    }
+    out_path = bench_artifact("obs", artifact)
+    print(
+        f"wrote {out_path} (off-path {overhead_fraction:.5%} "
+        f"of a {disabled_s * 1e3:.1f} ms replay)"
+    )
+
+    # The guard: disabled instrumentation must add < 2% to the replay.
+    assert overhead_fraction < MAX_DISABLED_OVERHEAD, (
+        f"disabled instrumentation costs {overhead_fraction:.2%} of the "
+        f"kernel replay (need < {MAX_DISABLED_OVERHEAD:.0%}): "
+        f"{events} events at ~{overhead_s / events * 1e9:.0f} ns each"
+    )

@@ -22,10 +22,7 @@ Emits a machine-readable ``BENCH_opt.json`` artifact (set
 trajectory.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 from repro.dvfs import LoadTrace
 from repro.fleet import Autoscaler, CostModel, FleetSimulator
@@ -75,7 +72,7 @@ def _best_of(function, repeats=_REPEATS) -> float:
     return best
 
 
-def test_bench_policy_opt(benchmark, server_configuration):
+def test_bench_policy_opt(benchmark, server_configuration, bench_artifact):
     trace = LoadTrace.diurnal()
     context = ModelContext(server_configuration)
     tuner = PolicyTuner(context, WEB_SEARCH, trace)
@@ -171,8 +168,7 @@ def test_bench_policy_opt(benchmark, server_configuration):
             grid.full_length_evaluations / halving.full_length_evaluations
         ),
     }
-    out_path = Path(os.environ.get("BENCH_OPT_JSON", "BENCH_opt.json"))
-    out_path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    out_path = bench_artifact("opt", artifact)
     print(
         f"wrote {out_path} "
         f"(saving {artifact['tuned_vs_hand_written_saving'] * 100:.2f}%, "

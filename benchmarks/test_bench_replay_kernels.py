@@ -17,10 +17,7 @@ Emits a machine-readable ``BENCH_replay.json`` artifact (set
 trajectory.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 from repro.dvfs import GOVERNORS, GovernorSimulator, LoadTrace
 from repro.fleet import Autoscaler, FleetSimulator
@@ -42,7 +39,7 @@ def _best_of(function, repeats=_REPEATS) -> float:
     return best
 
 
-def test_bench_replay_kernels(benchmark):
+def test_bench_replay_kernels(benchmark, bench_artifact):
     spec = REGISTRY.get(SCENARIO)
     context = ModelContext(
         spec.configuration(), degradation_bound=spec.degradation_bound
@@ -141,8 +138,7 @@ def test_bench_replay_kernels(benchmark):
             "speedup": dvfs_speedup,
         },
     }
-    out_path = Path(os.environ.get("BENCH_REPLAY_JSON", "BENCH_replay.json"))
-    out_path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    out_path = bench_artifact("replay", artifact)
     print(
         f"wrote {out_path} (fleet {fleet_speedup:.1f}x, "
         f"dvfs {dvfs_speedup:.1f}x)"

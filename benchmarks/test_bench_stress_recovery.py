@@ -13,10 +13,7 @@ The run also emits a machine-readable ``BENCH_stress.json`` artifact
 trajectory; set ``BENCH_STRESS_JSON`` to redirect it.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -46,7 +43,7 @@ def _run_disturbed(configuration, trace, schedule):
     return simulator.run(trace, "pack", disturbances=schedule)
 
 
-def test_bench_stress_recovery(benchmark, server_configuration):
+def test_bench_stress_recovery(benchmark, server_configuration, bench_artifact):
     trace = LoadTrace.diurnal()
     schedule = DisturbanceSchedule(
         events=(node_crash(0, CRASH_STEP), node_restore(0, RESTORE_STEP))
@@ -119,8 +116,7 @@ def test_bench_stress_recovery(benchmark, server_configuration):
         "disturbed_total_energy_j": disturbed.total_energy_j,
         "wall_clock_s": elapsed_s,
     }
-    out_path = Path(os.environ.get("BENCH_STRESS_JSON", "BENCH_stress.json"))
-    out_path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    out_path = bench_artifact("stress", artifact)
     print(
         f"wrote {out_path} (max recovery "
         f"{metrics['max_recovery_time_steps']} steps, "

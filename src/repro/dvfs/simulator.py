@@ -31,6 +31,7 @@ from typing import Dict, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.dvfs.governors import (
     GOVERNORS,
     Governor,
@@ -136,21 +137,39 @@ class GovernorSimulator:
         """
         if isinstance(governor, str):
             governor = governor_by_name(governor)
-        if not reference:
-            from repro.kernels.governors import has_kernel
-            from repro.kernels.replay import governor_replay_columns
+        with obs.trace(
+            "dvfs.replay",
+            governor=governor.name,
+            trace=trace.name,
+            steps=len(trace),
+        ) as span:
+            if not reference:
+                from repro.kernels.governors import has_kernel
+                from repro.kernels.replay import governor_replay_columns
 
-            if has_kernel(governor):
-                return ReplayResult(
-                    governor_name=governor.name,
-                    workload_name=self.workload.name,
-                    trace_name=trace.name,
-                    step_seconds=trace.step_seconds,
-                    instructions_per_request=(
-                        self.workload.instructions_per_request
-                    ),
-                    columns=governor_replay_columns(self.table, governor, trace),
-                )
+                if has_kernel(governor):
+                    span.set(kernel=True)
+                    obs.count("dvfs.kernel_replays")
+                    return ReplayResult(
+                        governor_name=governor.name,
+                        workload_name=self.workload.name,
+                        trace_name=trace.name,
+                        step_seconds=trace.step_seconds,
+                        instructions_per_request=(
+                            self.workload.instructions_per_request
+                        ),
+                        columns=governor_replay_columns(
+                            self.table, governor, trace
+                        ),
+                    )
+            span.set(kernel=False)
+            obs.count("dvfs.reference_replays")
+            return self._reference_replay(trace, governor)
+
+    def _reference_replay(
+        self, trace: LoadTrace, governor: Governor
+    ) -> ReplayResult:
+        """The original object-based step loop (the bit-parity anchor)."""
         platform = self.platform
         nominal_capacity = platform.nominal_capacity_uips
 

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.dvfs.governors import Governor, governor_by_name
 from repro.dvfs.simulator import GovernorSimulator
 from repro.dvfs.trace import LoadTrace
@@ -201,6 +202,25 @@ class FleetSimulator:
         """
         if isinstance(routing, str):
             routing = router_by_name(routing)
+        with obs.trace(
+            "fleet.replay",
+            routing=routing.name,
+            governor=self.governor_name,
+            fleet_size=self.fleet_size,
+            trace=trace.name,
+            steps=len(trace),
+            disturbed=disturbances is not None,
+        ) as span:
+            return self._run(trace, routing, reference, disturbances, span)
+
+    def _run(
+        self,
+        trace: LoadTrace,
+        routing: RoutingPolicy,
+        reference: bool,
+        disturbances: DisturbanceSchedule | None,
+        span,
+    ) -> FleetResult:
         steps = len(trace)
         if disturbances is not None:
             disturbances.validate_for(self.fleet_size, steps)
@@ -216,6 +236,8 @@ class FleetSimulator:
             if fleet_kernel.supports(
                 routing, governor, self.autoscaler, disturbances=disturbances
             ):
+                span.set(kernel=True)
+                obs.count("fleet.kernel_replays")
                 fleet_columns, node_columns = fleet_kernel.fleet_replay_columns(
                     table=self._sim.table,
                     workload=self.workload,
@@ -245,6 +267,8 @@ class FleetSimulator:
                         disturbances.events if disturbances else ()
                     ),
                 )
+        span.set(kernel=False)
+        obs.count("fleet.reference_replays")
         qos_limit = self.workload.qos_limit_seconds
 
         nodes = self._make_nodes(

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.dvfs.governors import Governor, governor_by_name
 from repro.dvfs.replay import ReplayResult
 from repro.dvfs.trace import LoadTrace
@@ -676,11 +677,16 @@ class FleetReplayBatch:
         # derives new arrays), so sharing is safe.
         if timeline_cache is not None:
             key = (tuple(self.traces), fleet_size, autoscaler)
-            if key not in timeline_cache:
-                timeline_cache[key] = _batched_state_timeline(
+            cached = timeline_cache.get(key)
+            if cached is None:
+                obs.count("batch.timeline_cache_misses")
+                cached = _batched_state_timeline(
                     mass2d, fleet_size, autoscaler
                 )
-            state3d, wake3d = timeline_cache[key]
+                timeline_cache[key] = cached
+            else:
+                obs.count("batch.timeline_cache_hits")
+            state3d, wake3d = cached
         else:
             state3d, wake3d = _batched_state_timeline(
                 mass2d, fleet_size, autoscaler
@@ -1062,6 +1068,17 @@ class BatchReplayRunner:
                     f"BatchReplayRunner needs ReplaySpec items, "
                     f"got {type(spec).__name__}"
                 )
+        with obs.trace("batch.run", batch_size=len(specs)) as span:
+            result = self._run(specs)
+            span.set(
+                batched=result.batched_count,
+                fallback=result.fallback_count,
+            )
+        obs.count("batch.batched_replays", result.batched_count)
+        obs.count("batch.fallback_replays", result.fallback_count)
+        return result
+
+    def _run(self, specs: List[ReplaySpec]) -> BatchReplayResult:
         placements: List[Optional[tuple]] = [None] * len(specs)
         single_groups: Dict[tuple, List[int]] = {}
         fleet_groups: Dict[tuple, List[int]] = {}

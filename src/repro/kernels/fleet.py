@@ -46,6 +46,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.dvfs.governors import Governor
 from repro.dvfs.trace import LoadTrace
 from repro.fleet.autoscaler import Autoscaler
@@ -403,6 +404,8 @@ def tail_latencies(
     # produce bit-identical tails through every branch below.)
     keys = indices.astype(np.float64) + 1j * demand
     unique, inverse = np.unique(keys, return_inverse=True)
+    obs.count("fleet.tail_pairs", int(keys.size))
+    obs.count("fleet.tail_unique_pairs", int(unique.size))
     grid = unique.real.astype(np.int64)
     unique_demand = unique.imag
 

@@ -1,0 +1,66 @@
+"""CLI for run-report artifacts: ``python -m repro.obs {validate,show} PATH``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.report import RunReport, validate_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate and inspect repro.obs run-report JSON artifacts.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    validate = subparsers.add_parser(
+        "validate", help="check a report file against the schema"
+    )
+    validate.add_argument("paths", nargs="+", help="report JSON file(s)")
+
+    show = subparsers.add_parser(
+        "show", help="render a report file as CLI tables"
+    )
+    show.add_argument("path", help="report JSON file")
+    return parser
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle, parse_constant=_reject_constant)
+
+
+def _reject_constant(token: str) -> float:
+    raise ValueError(f"non-finite JSON constant {token!r} is not allowed")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "validate":
+        failures = 0
+        for path in args.paths:
+            try:
+                validate_report(_load(path))
+            except (OSError, ValueError) as error:
+                print(f"{path}: INVALID: {error}", file=sys.stderr)
+                failures += 1
+            else:
+                print(f"{path}: ok")
+        return 1 if failures else 0
+    if args.command == "show":
+        try:
+            report = RunReport.from_dict(_load(args.path))
+        except (OSError, ValueError) as error:
+            print(f"{args.path}: INVALID: {error}", file=sys.stderr)
+            return 1
+        print(report.render())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

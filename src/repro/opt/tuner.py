@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.fleet.economics import CostModel
 from repro.dvfs.trace import LoadTrace
 from repro.kernels.batch import BatchReplayRunner, unique_specs
@@ -117,20 +118,33 @@ class PolicyTuner:
             groups.setdefault(config.degradation_bound, []).append(position)
 
         summaries: List[Optional[Dict[str, object]]] = [None] * len(configs)
-        for bound in sorted(
-            groups, key=lambda b: (b is not None, b if b is not None else 0.0)
-        ):
-            positions = groups[bound]
-            runner = self._runner(bound)
-            group_specs = [specs[p] for p in positions]
-            unique, index_map = unique_specs(group_specs)
-            self.duplicate_trials += len(group_specs) - len(unique)
-            self.evaluations += len(unique)
-            if full_length:
-                self.full_length_evaluations += len(unique)
-            batch_summaries = runner.run(unique).summaries()
-            for local, position in enumerate(positions):
-                summaries[position] = batch_summaries[index_map[local]]
+        with obs.trace(
+            "opt.rung", rung=rung, configs=len(configs), steps=trace.steps
+        ) as span:
+            rung_evaluations = 0
+            rung_duplicates = 0
+            for bound in sorted(
+                groups,
+                key=lambda b: (b is not None, b if b is not None else 0.0),
+            ):
+                positions = groups[bound]
+                runner = self._runner(bound)
+                group_specs = [specs[p] for p in positions]
+                unique, index_map = unique_specs(group_specs)
+                rung_duplicates += len(group_specs) - len(unique)
+                rung_evaluations += len(unique)
+                if full_length:
+                    self.full_length_evaluations += len(unique)
+                batch_summaries = runner.run(unique).summaries()
+                for local, position in enumerate(positions):
+                    summaries[position] = batch_summaries[index_map[local]]
+            self.duplicate_trials += rung_duplicates
+            self.evaluations += rung_evaluations
+            span.set(
+                evaluations=rung_evaluations, duplicates=rung_duplicates
+            )
+        obs.count("opt.evaluations", rung_evaluations)
+        obs.count("opt.duplicate_trials", rung_duplicates)
 
         trials: List[Trial] = []
         for config, summary in zip(configs, summaries):

@@ -427,9 +427,9 @@ def policy_opt(
     the deduplicated space, evaluation counters, the best config under
     the deterministic total order, and the energy-vs-QoS Pareto
     frontier.  The full trials table rides along under the private
-    ``_trials`` key (rendered by the CLI, excluded from the goldens),
-    and the batch throughput under ``_batch_timing`` (surfaced by
-    ``--timing``; wall time is not deterministic).
+    ``_trials`` key (rendered by the CLI, excluded from the goldens);
+    batch throughput is observable through the ``repro.obs`` spans the
+    tuner and batch runner record (surfaced by ``--timing``).
     """
     from repro.dvfs import load_trace_by_name
     from repro.opt import PolicyTuner
@@ -445,8 +445,6 @@ def policy_opt(
     optimization: Dict[str, dict] = {}
     best: Dict[str, object] = {}
     trials: Dict[str, list] = {}
-    evaluations = 0
-    wall_s = 0.0
     for name, workload in spec.workloads().items():
         tuner = PolicyTuner(
             context, workload, trace, frequencies=spec.frequency_grid_hz
@@ -455,8 +453,6 @@ def policy_opt(
         optimization[name] = result.as_dict()
         best[name] = result.best_config.label()
         trials[name] = result.trial_dicts()
-        evaluations += result.evaluations
-        wall_s += result.wall_s
     return {
         "trace": trace.summary(),
         "strategy": spec.opt_strategy,
@@ -464,13 +460,6 @@ def policy_opt(
         "optimization": optimization,
         "best_config": best,
         "_trials": trials,
-        "_batch_timing": {
-            "batch_size": evaluations,
-            "wall_s": wall_s,
-            "replays_per_s": (
-                evaluations / wall_s if wall_s > 0 else None
-            ),
-        },
     }
 
 
@@ -490,12 +479,10 @@ def sweep_governor_grid(
     for the batched engine.
 
     Scalars are golden-pinned; the batch's wall-clock and
-    replays-per-second ride along under the private ``_batch_timing``
-    key (surfaced by ``--timing``, excluded from the goldens because
-    wall time is not deterministic).
+    replays-per-second are observable through the ``batch.run`` span
+    the runner records (surfaced by ``--timing``, never golden-pinned
+    because wall time is not deterministic).
     """
-    import time
-
     from repro.dvfs import GOVERNORS, load_trace_by_name
     from repro.kernels.batch import BatchReplayRunner, ReplaySpec
 
@@ -515,10 +502,8 @@ def sweep_governor_grid(
         for trace_name in trace_names
         for governor in governor_names
     ]
-    started = time.perf_counter()
     batch = runner.run(replay_specs)
     summaries = batch.summaries()
-    wall_s = time.perf_counter() - started
 
     replays: Dict[str, dict] = {}
     best: Dict[str, dict] = {}
@@ -553,13 +538,6 @@ def sweep_governor_grid(
         "fallback_replays": batch.fallback_count,
         "replays": replays,
         "best_governor_at_zero_violations": best,
-        "_batch_timing": {
-            "batch_size": len(batch),
-            "wall_s": wall_s,
-            "replays_per_s": (
-                len(batch) / wall_s if wall_s > 0 else None
-            ),
-        },
     }
 
 

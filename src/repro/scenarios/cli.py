@@ -24,10 +24,10 @@ import dataclasses
 import io
 import json
 import sys
-import time
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.scenarios.registry import REGISTRY, ScenarioRegistry
 from repro.scenarios.runner import ScenarioResult, ScenarioRunner, _public_tree
 from repro.sweep.result import COLUMNS
@@ -75,6 +75,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "report per-scenario wall time and evaluated-point counts "
             "(appended to table output, embedded in JSON output)"
+        ),
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print each scenario's instrumentation report (span tree, "
+            "per-span totals, counters) after its output"
+        ),
+    )
+    run_parser.add_argument(
+        "--report-out",
+        type=Path,
+        metavar="PATH",
+        help=(
+            "write the run's spans + counters as a strict-JSON "
+            "repro.obs run report (scenarios merge into one file)"
         ),
     )
     run_parser.add_argument(
@@ -362,28 +379,20 @@ def _render_timing_summary(rows: List[Tuple[str, Dict[str, object]]]) -> str:
     )
 
 
-def _batch_timing(result: ScenarioResult) -> Dict[str, object] | None:
-    """Aggregate the batched analyses' private timing, if any ran.
+def _batch_timing(capture: obs.Capture) -> Dict[str, object] | None:
+    """Aggregate the run's ``batch.run`` spans, if any batched engine ran.
 
-    Sums batch sizes and wall time across every analysis that reports
-    a ``_batch_timing`` block (timing is additive; the throughput is
-    recomputed from the totals).  Returns ``None`` when no analysis
-    used the batched engine.
+    Sums batch sizes and wall time across every
+    :class:`~repro.kernels.batch.BatchReplayRunner` pass the scenario
+    made (timing is additive; the throughput is recomputed from the
+    totals).  Returns ``None`` when no analysis used the batched
+    engine.
     """
-    total = 0
-    wall = 0.0
-    found = False
-    for extra in result.extras.values():
-        if not isinstance(extra, dict):
-            continue
-        info = extra.get("_batch_timing")
-        if not isinstance(info, dict):
-            continue
-        found = True
-        total += int(info.get("batch_size", 0))
-        wall += float(info.get("wall_s", 0.0))
-    if not found:
+    spans = [span for span in capture.spans if span.name == "batch.run"]
+    if not spans:
         return None
+    total = sum(int(span.attributes.get("batch_size", 0)) for span in spans)
+    wall = sum(span.duration_s for span in spans)
     return {
         "batch_size": total,
         "replays_per_s": total / wall if wall > 0 else None,
@@ -407,21 +416,41 @@ def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
 
     runner = ScenarioRunner(registry=registry, parallel=args.parallel)
     extension = {"table": "txt", "csv": "csv", "json": "json"}[args.format]
+    want_report = args.profile or args.report_out is not None
     timing_rows: List[Tuple[str, Dict[str, object]]] = []
+    reports: List[obs.RunReport] = []
+    instrument = args.timing or want_report
     for name in names:
-        started = time.perf_counter()
+        # One capture per scenario: --timing reads its wall clock and
+        # batch.run spans, --profile/--report-out freeze it whole.
+        # Without any of those flags instrumentation stays off (the
+        # library default) and the run pays only no-op checks.
+        capture = obs.capture()
         try:
-            result = runner.run(name)
+            if instrument:
+                with capture:
+                    result = runner.run(name)
+            else:
+                result = runner.run(name)
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+        report: Optional[obs.RunReport] = None
+        if want_report:
+            report = capture.report(
+                meta={
+                    "scenario": result.spec.name,
+                    "evaluated_points": result.context.evaluated_points,
+                }
+            )
+            reports.append(report)
         timing: Dict[str, object] | None = None
         if args.timing:
             timing = {
-                "wall_s": time.perf_counter() - started,
+                "wall_s": capture.duration_s,
                 "evaluated_points": result.context.evaluated_points,
             }
-            batch_info = _batch_timing(result)
+            batch_info = _batch_timing(capture)
             if batch_info is not None:
                 timing.update(batch_info)
             timing_rows.append((result.spec.name, timing))
@@ -436,9 +465,19 @@ def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
             print(f"wrote {path}")
         else:
             print(rendered)
+        if args.profile and report is not None:
+            print()
+            print(f"profile: {result.spec.name}")
+            print(report.render())
     if timing_rows:
         print()
         print(_render_timing_summary(timing_rows))
+    if args.report_out is not None:
+        merged = obs.RunReport.merge(
+            reports, meta={"scenarios": [name for name in names]}
+        )
+        args.report_out.write_text(merged.to_json() + "\n")
+        print(f"wrote {args.report_out}")
     return 0
 
 

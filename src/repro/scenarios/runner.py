@@ -17,6 +17,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping
 
+from repro import obs
 from repro.scenarios.analyses import ANALYSES
 from repro.scenarios.registry import REGISTRY, ScenarioRegistry
 from repro.scenarios.spec import ScenarioSpec
@@ -198,27 +199,38 @@ class ScenarioRunner:
         analyses are reductions over the same columnar table.
         """
         spec = self.resolve(scenario)
-        configuration = spec.configuration()
-        context = ModelContext(
-            configuration, degradation_bound=spec.degradation_bound
-        )
-        if not context.reachable_frequencies():
-            raise ValueError(
-                f"scenario {spec.name!r}: no frequency in the grid is "
-                f"reachable by technology {configuration.technology.name!r}"
+        with obs.trace("scenario.run", scenario=spec.name):
+            with obs.trace("scenario.context_build", scenario=spec.name):
+                configuration = spec.configuration()
+                context = ModelContext(
+                    configuration, degradation_bound=spec.degradation_bound
+                )
+                if not context.reachable_frequencies():
+                    raise ValueError(
+                        f"scenario {spec.name!r}: no frequency in the grid "
+                        f"is reachable by technology "
+                        f"{configuration.technology.name!r}"
+                    )
+            sweep_runner = SweepRunner(
+                context=context,
+                parallel=self.parallel,
+                max_workers=self.max_workers,
             )
-        sweep_runner = SweepRunner(
-            context=context, parallel=self.parallel, max_workers=self.max_workers
-        )
-        workloads = spec.workloads()
-        sweep = sweep_runner.run(workloads.values())
-        summaries = [
-            SweepRunner.summarize_workload(sweep, name) for name in workloads
-        ]
-        extras = {
-            analysis: ANALYSES[analysis](spec, context, sweep)
-            for analysis in spec.analyses
-        }
+            workloads = spec.workloads()
+            with obs.trace(
+                "scenario.sweep", workloads=len(workloads)
+            ) as span:
+                sweep = sweep_runner.run(workloads.values())
+                span.set(rows=len(sweep))
+            with obs.trace("scenario.summaries"):
+                summaries = [
+                    SweepRunner.summarize_workload(sweep, name)
+                    for name in workloads
+                ]
+            extras = {}
+            for analysis in spec.analyses:
+                with obs.trace("scenario.analysis", analysis=analysis):
+                    extras[analysis] = ANALYSES[analysis](spec, context, sweep)
         return ScenarioResult(
             spec=spec,
             sweep=sweep,

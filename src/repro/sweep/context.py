@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, Iterable, Sequence, Tuple
 
+from repro import obs
 from repro.core.config import ServerConfiguration
 from repro.core.performance import PerformancePoint, ServerPerformanceModel
 from repro.latency.degradation import BatchDegradationModel
@@ -197,7 +198,9 @@ class ModelContext:
         key = (workload, frequency_hz)
         record = self._records.get(key)
         if record is not None:
+            obs.count("context.memo_hits")
             return record
+        obs.count("context.memo_misses")
 
         operating_point = self.operating_point(
             frequency_hz, workload.activity_factor
@@ -291,6 +294,13 @@ class ModelContext:
         key = (workload, None if frequencies is None else tuple(frequencies))
         table = self._tables.get(key)
         if table is None:
-            table = FrequencyTable.from_context(self, workload, frequencies)
+            with obs.trace(
+                "context.table_build", workload=workload.name
+            ) as span:
+                table = FrequencyTable.from_context(self, workload, frequencies)
+                span.set(grid_points=len(table.frequencies_hz))
+            obs.count("context.table_builds")
             self._tables[key] = table
+        else:
+            obs.count("context.table_cache_hits")
         return table

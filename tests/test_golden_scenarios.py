@@ -18,6 +18,7 @@ import math
 
 import pytest
 
+from repro import obs
 from repro.scenarios import scenario_names
 
 REL_TOL = 1e-9
@@ -72,6 +73,7 @@ def test_golden_scenario_scalars(name, scenario_results, update_golden, golden_d
         "pytest --update-golden"
     )
     expected = json.loads(path.read_text())
+    obs.count("golden.comparisons")  # visible when a capture is open
     problems = _diffs(scalars, expected)
     assert not problems, (
         f"scenario {name!r} drifted from its golden fixture "

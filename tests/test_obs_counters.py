@@ -1,0 +1,184 @@
+"""Counter-correctness tests: obs counters vs ground-truth work counts.
+
+The instrumentation is only useful if its numbers are exact, so each
+test pins a counter against an independently observable quantity: the
+context's memoisation counters against ``evaluated_points`` (every
+distinct design point is a miss exactly once, every repeat a hit), the
+batch engine's batched/fallback split against a batch with a known
+mix, and the replay/tuner counters against the work the call visibly
+performed.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.core.config import default_server
+from repro.dvfs import GovernorSimulator, LoadTrace
+from repro.dvfs.governors import PerformanceGovernor
+from repro.fleet import FleetSimulator
+from repro.kernels import BatchReplayRunner, ReplaySpec
+from repro.opt import PolicyConfig, PolicyTuner
+from repro.sweep.context import ModelContext
+from repro.workloads.banking_vm import VMS_LOW_MEM
+from repro.workloads.cloudsuite import WEB_SEARCH
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    obs.reset()
+    yield
+    assert not obs.is_enabled(), "a test leaked an open capture/enable"
+    obs.reset()
+
+
+# -- context memoisation ---------------------------------------------------------------
+
+
+def test_memo_misses_match_evaluated_points_exactly_once():
+    """Each distinct point is a miss exactly once; repeats are hits."""
+    context = ModelContext(default_server())
+    grid = context.configuration.frequency_grid
+    with obs.capture() as cap:
+        for frequency_hz in grid:
+            context.evaluate(WEB_SEARCH, frequency_hz)
+        for frequency_hz in grid:
+            context.evaluate(WEB_SEARCH, frequency_hz)
+    deltas = cap.counter_deltas()
+    assert deltas["context.memo_misses"] == len(grid)
+    assert deltas["context.memo_hits"] == len(grid)
+    assert context.evaluated_points == len(grid)
+    assert deltas["context.memo_misses"] == context.evaluated_points
+
+
+def test_memo_counters_key_by_workload_and_frequency():
+    context = ModelContext(default_server())
+    frequency_hz = context.configuration.frequency_grid[0]
+    with obs.capture() as cap:
+        context.evaluate(WEB_SEARCH, frequency_hz)
+        context.evaluate(VMS_LOW_MEM, frequency_hz)  # new point: same f
+        context.evaluate(WEB_SEARCH, frequency_hz)  # repeat: a hit
+    deltas = cap.counter_deltas()
+    assert deltas["context.memo_misses"] == 2 == context.evaluated_points
+    assert deltas["context.memo_hits"] == 1
+
+
+def test_frequency_table_built_once_then_cache_hits():
+    context = ModelContext(default_server())
+    with obs.capture() as cap:
+        context.frequency_table(WEB_SEARCH)
+        context.frequency_table(WEB_SEARCH)
+        context.frequency_table(WEB_SEARCH)
+    deltas = cap.counter_deltas()
+    assert deltas["context.table_builds"] == 1
+    assert deltas["context.table_cache_hits"] == 2
+    (span,) = [s for s in cap.spans if s.name == "context.table_build"]
+    assert span.attributes["workload"] == WEB_SEARCH.name
+    assert span.attributes["grid_points"] == len(
+        context.configuration.frequency_grid
+    )
+
+
+# -- batched vs fallback ---------------------------------------------------------------
+
+
+def test_mixed_batch_counts_batched_and_fallback_exactly(default_context):
+    """A known 2-kernel/1-fallback batch splits the counters exactly."""
+
+    @dataclasses.dataclass(frozen=True)
+    class FloorGovernor(PerformanceGovernor):
+        def select(self, observation, platform):
+            return platform.frequencies[0]
+
+    trace = LoadTrace.constant(utilization=0.5, steps=8)
+    specs = [
+        ReplaySpec(workload=WEB_SEARCH, trace=trace, governor=FloorGovernor()),
+        ReplaySpec(workload=WEB_SEARCH, trace=trace, governor="performance"),
+        ReplaySpec(workload=VMS_LOW_MEM, trace=trace, governor="ondemand"),
+    ]
+    with obs.capture() as cap:
+        result = BatchReplayRunner(default_context).run(specs)
+    assert result.batched_count == 2 and result.fallback_count == 1
+    deltas = cap.counter_deltas()
+    assert deltas["batch.batched_replays"] == 2
+    assert deltas["batch.fallback_replays"] == 1
+    (span,) = [s for s in cap.spans if s.name == "batch.run"]
+    assert span.attributes == {"batch_size": 3, "batched": 2, "fallback": 1}
+
+
+def test_all_kernel_batch_counts_no_fallbacks(default_context):
+    trace = LoadTrace.constant(utilization=0.4, steps=6)
+    specs = [
+        ReplaySpec(workload=WEB_SEARCH, trace=trace, governor=name)
+        for name in ("performance", "ondemand", "powersave")
+    ]
+    with obs.capture() as cap:
+        result = BatchReplayRunner(default_context).run(specs)
+    assert result.batched_count == 3
+    deltas = cap.counter_deltas()
+    assert deltas["batch.batched_replays"] == 3
+    assert "batch.fallback_replays" not in deltas
+
+
+# -- replay paths ----------------------------------------------------------------------
+
+
+def test_dvfs_counters_distinguish_kernel_and_reference(default_context):
+    simulator = GovernorSimulator(default_context, WEB_SEARCH)
+    trace = LoadTrace.bursty(steps=30, seed=3)
+    with obs.capture() as cap:
+        simulator.replay(trace, "ondemand")
+        simulator.replay(trace, "ondemand", reference=True)
+    deltas = cap.counter_deltas()
+    assert deltas["dvfs.kernel_replays"] == 1
+    assert deltas["dvfs.reference_replays"] == 1
+    spans = [s for s in cap.spans if s.name == "dvfs.replay"]
+    assert [s.attributes["kernel"] for s in spans] == [True, False]
+    assert all(s.attributes["governor"] == "ondemand" for s in spans)
+
+
+def test_fleet_replay_span_and_tail_dedup_counters(default_context):
+    simulator = FleetSimulator(default_context, WEB_SEARCH, fleet_size=2)
+    trace = LoadTrace.bursty(steps=20, seed=4)
+    with obs.capture() as cap:
+        simulator.run(trace, "pack")
+    deltas = cap.counter_deltas()
+    assert deltas["fleet.kernel_replays"] == 1
+    # The queueing-tail dedup only ever shrinks the pair set.
+    assert deltas["fleet.tail_pairs"] >= deltas["fleet.tail_unique_pairs"] > 0
+    (span,) = [s for s in cap.spans if s.name == "fleet.replay"]
+    assert span.attributes["routing"] == "pack"
+    assert span.attributes["fleet_size"] == 2
+    assert span.attributes["steps"] == len(trace)
+    assert span.attributes["kernel"] is True
+    assert span.attributes["disturbed"] is False
+
+
+def test_tuner_rung_span_counts_evaluations_and_duplicates(default_context):
+    config = PolicyConfig(
+        governor="qos_tracker",
+        routing="pack",
+        fleet_size=2,
+        fill_fraction=0.75,
+        band=None,
+        wake_steps=1,
+    )
+    tuner = PolicyTuner(default_context, WEB_SEARCH, LoadTrace.diurnal())
+    with obs.capture() as cap:
+        tuner.evaluate([config, config])
+    deltas = cap.counter_deltas()
+    assert deltas["opt.evaluations"] == 1  # the duplicate deduplicates
+    assert deltas["opt.duplicate_trials"] == 1
+    (span,) = [s for s in cap.spans if s.name == "opt.rung"]
+    assert span.attributes["configs"] == 2
+    assert span.attributes["evaluations"] == 1
+    assert span.attributes["duplicates"] == 1
+
+
+def test_counters_stay_silent_while_disabled(default_context):
+    trace = LoadTrace.constant(utilization=0.5, steps=6)
+    BatchReplayRunner(default_context).run(
+        [ReplaySpec(workload=WEB_SEARCH, trace=trace)]
+    )
+    assert obs.counters_snapshot() == {}

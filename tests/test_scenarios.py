@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.core.config import default_server
 from repro.dvfs import GOVERNORS, GovernorSimulator, load_trace_by_name
 from repro.scenarios import (
@@ -468,6 +469,83 @@ def test_cli_timing_shows_dashes_for_unbatched_scenarios(tmp_path, capsys):
         if line.startswith("table1_ddr4")
     ]
     assert rows and all("-" in row for row in rows)
+
+
+# -- profiling and run reports ----------------------------------------------------------
+
+
+def test_cli_run_profile_prints_span_tree(capsys):
+    assert cli_main(["run", "table1_ddr4", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: table1_ddr4" in out
+    assert "scenario.run" in out
+    assert "scenario.context_build" in out
+    assert "scenario.analysis" in out
+    assert "context.memo_misses" in out
+
+
+def test_cli_report_out_writes_a_valid_report_covering_the_run(
+    tmp_path, capsys
+):
+    output = tmp_path / "report.json"
+    assert (
+        cli_main(
+            ["run", "sweep_governor_grid", "--report-out", str(output)]
+        )
+        == 0
+    )
+    assert f"wrote {output}" in capsys.readouterr().out
+    data = json.loads(output.read_text())
+    obs.validate_report(data)
+    report = obs.RunReport.from_dict(data)
+    assert data["meta"]["scenarios"] == ["sweep_governor_grid"]
+    # The spans cover every stage of the run: context build, table
+    # build, the batched replay, the sweep and the analyses.
+    assert {
+        "scenario.run",
+        "scenario.context_build",
+        "scenario.sweep",
+        "scenario.summaries",
+        "scenario.analysis",
+        "context.table_build",
+        "batch.run",
+    } <= set(report.names)
+    (batch,) = report.spans_named("batch.run")
+    assert batch["attributes"]["batch_size"] == _grid_batch_size()
+    assert report.counters["batch.batched_replays"] == _grid_batch_size()
+    assert report.counters["context.memo_misses"] > 0
+    assert report.counters["context.memo_hits"] > 0
+
+
+def test_cli_report_out_merges_multiple_scenarios(tmp_path, capsys):
+    output = tmp_path / "multi.json"
+    assert (
+        cli_main(
+            ["run", "table1_ddr4", "fig2_qos", "--report-out", str(output)]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    # --report-out alone does not switch on the timing output.
+    assert "timing:" not in out
+    data = json.loads(output.read_text())
+    obs.validate_report(data)
+    report = obs.RunReport.from_dict(data)
+    assert data["meta"]["scenarios"] == ["table1_ddr4", "fig2_qos"]
+    assert len(report.spans_named("scenario.run")) == 2
+    scenarios = [
+        span["attributes"]["scenario"]
+        for span in report.spans_named("scenario.run")
+    ]
+    assert scenarios == ["table1_ddr4", "fig2_qos"]
+
+
+def test_cli_run_leaves_instrumentation_off(tmp_path):
+    output = tmp_path / "report.json"
+    assert (
+        cli_main(["run", "table1_ddr4", "--report-out", str(output)]) == 0
+    )
+    assert not obs.is_enabled()
 
 
 # -- fleet spec fields ------------------------------------------------------------------
