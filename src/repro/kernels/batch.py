@@ -40,12 +40,21 @@ path, exactly like the single-replay dispatch.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro import obs
+from repro.resilience import (
+    FailedSummary,
+    SpecError,
+    check_on_error,
+    classify,
+    fault_point,
+)
+from repro.resilience.chaos import active_plan
 from repro.dvfs.governors import Governor, governor_by_name
 from repro.dvfs.replay import ReplayResult
 from repro.dvfs.trace import LoadTrace
@@ -102,38 +111,45 @@ class ReplaySpec:
     def __post_init__(self) -> None:
         if self.fleet_size is None:
             if self.routing is not None:
-                raise ValueError(
+                raise SpecError(
                     "a routing policy needs a fleet_size; single-server "
                     "replays have no routing"
                 )
             if self.autoscaler is not None:
-                raise ValueError(
+                raise SpecError(
                     "an autoscaler needs a fleet_size; single-server "
                     "replays have no autoscaler"
                 )
             if self.off_power_w != 0.0:
-                raise ValueError(
+                raise SpecError(
                     "off_power_w needs a fleet_size; single-server "
                     "replays have no parked servers"
                 )
             if self.disturbances is not None:
-                raise ValueError(
+                raise SpecError(
                     "a disturbance schedule needs a fleet_size; "
                     "single-server replays have no fleet to disturb"
                 )
             return
         if self.fleet_size < 1:
-            raise ValueError(
+            raise SpecError(
                 f"fleet_size must be >= 1, got {self.fleet_size}"
             )
         if self.routing is None:
-            raise ValueError("a fleet replay needs a routing policy")
+            raise SpecError("a fleet replay needs a routing policy")
+        # NaN slips through the < 0 comparison below, so reject
+        # non-finite power explicitly before it reaches the kernels.
+        if not math.isfinite(self.off_power_w):
+            raise SpecError(
+                f"replay spec: off_power_w must be finite, "
+                f"got {self.off_power_w}"
+            )
         check_non_negative("off_power_w", self.off_power_w)
         if (
             self.autoscaler is not None
             and self.autoscaler.min_servers > self.fleet_size
         ):
-            raise ValueError(
+            raise SpecError(
                 f"autoscaler min_servers ({self.autoscaler.min_servers}) "
                 f"exceeds the fleet size ({self.fleet_size})"
             )
@@ -950,6 +966,27 @@ class FleetReplayBatch:
 # -- the user-facing runner -------------------------------------------------------------
 
 
+def _spec_identity(position: int, spec: ReplaySpec) -> str:
+    """A short human-readable identity for one replay of a batch."""
+    governor = (
+        spec.governor
+        if isinstance(spec.governor, str)
+        else getattr(spec.governor, "name", type(spec.governor).__name__)
+    )
+    detail = f"{spec.workload.name}/{governor}"
+    if spec.is_fleet:
+        detail += f"/fleet{spec.fleet_size}"
+    return f"replay {position} ({detail})"
+
+
+def _quarantined_placement(
+    position: int, spec: ReplaySpec, error: Exception
+) -> tuple:
+    """A ``"failed"`` placement capturing one isolated replay fault."""
+    fault = classify(error, identity=_spec_identity(position, spec))
+    return ("failed", FailedSummary.from_fault(fault), fault)
+
+
 class BatchReplayResult:
     """The outcome of one batched run: B replays, columnar access.
 
@@ -957,6 +994,14 @@ class BatchReplayResult:
     no per-replay objects); :meth:`result` materializes any single
     replay as a full :class:`ReplayResult` / :class:`FleetResult` on
     demand.
+
+    Placements come in three kinds: ``"batch"`` (a row of a tensor
+    batch), ``"object"`` (a materialized simulator-path result) and --
+    only under ``on_error="quarantine"`` -- ``"failed"`` (a
+    :class:`~repro.resilience.FailedSummary` holding the slot of a
+    replay whose failure was isolated).  Failed slots keep submission
+    order stable: :meth:`summaries` yields the placeholder,
+    :meth:`result` re-raises the captured fault.
     """
 
     def __init__(self, specs, placements):
@@ -982,13 +1027,36 @@ class BatchReplayResult:
     @property
     def fallback_count(self) -> int:
         """Replays that fell back to the per-replay simulator path."""
-        return len(self._specs) - self.batched_count
+        return sum(
+            1 for kind, *_ in self._placements if kind == "object"
+        )
+
+    @property
+    def quarantined_count(self) -> int:
+        """Replays whose failures were isolated (quarantine mode only)."""
+        return sum(
+            1 for kind, *_ in self._placements if kind == "failed"
+        )
+
+    def quarantined(self) -> List[Tuple[int, FailedSummary]]:
+        """``(index, FailedSummary)`` for every quarantined replay."""
+        return [
+            (index, placement[1])
+            for index, placement in enumerate(self._placements)
+            if placement[0] == "failed"
+        ]
 
     def result(self, index: int):
-        """Replay ``index`` as a ReplayResult or FleetResult."""
-        kind, payload, row = self._placements[index]
+        """Replay ``index`` as a ReplayResult or FleetResult.
+
+        A quarantined replay has no result: the captured fault is
+        re-raised here so the loss cannot pass silently.
+        """
+        kind, payload, extra = self._placements[index]
         if kind == "batch":
-            return payload.result(row)
+            return payload.result(extra)
+        if kind == "failed":
+            raise extra
         return payload
 
     def results(self) -> List[object]:
@@ -1000,6 +1068,9 @@ class BatchReplayResult:
 
         Bit-for-bit what ``result(i).summary()`` returns, computed as
         columnar reductions over the batch tensors (cached).
+        Quarantined slots carry their
+        :class:`~repro.resilience.FailedSummary` placeholder instead
+        of a summary dict.
         """
         if self._summaries is None:
             per_batch: Dict[int, List[Dict[str, object]]] = {}
@@ -1010,6 +1081,8 @@ class BatchReplayResult:
                     if key not in per_batch:
                         per_batch[key] = payload.summaries()
                     summaries.append(per_batch[key][row])
+                elif kind == "failed":
+                    summaries.append(payload)
                 else:
                     summaries.append(payload.summary())
             self._summaries = summaries
@@ -1024,11 +1097,21 @@ class BatchReplayRunner:
     batch, and falls back to the per-replay simulator path for specs
     whose exact policy types have no kernel (custom subclasses) --
     the same dispatch rule the single-replay simulators apply.
+
+    ``on_error="raise"`` (the default) fails the whole run on the
+    first bad spec, exactly as before.  ``on_error="quarantine"``
+    isolates failures instead: a failing replay becomes a
+    :class:`~repro.resilience.FailedSummary` slot in the result, a
+    failing *group* build degrades to the per-member simulator path
+    (which is bit-identical, so nothing is lost), and the rest of the
+    batch completes untouched -- per-row bit parity with the
+    fault-free run is pinned by the chaos property tests.
     """
 
-    def __init__(self, context, frequencies=None):
+    def __init__(self, context, frequencies=None, on_error="raise"):
         self.context = context
         self.frequencies = frequencies
+        self.on_error = check_on_error(on_error)
 
     # -- resolution --------------------------------------------------------------------
 
@@ -1074,60 +1157,95 @@ class BatchReplayRunner:
                 batched=result.batched_count,
                 fallback=result.fallback_count,
             )
+            if result.quarantined_count:
+                span.set(quarantined=result.quarantined_count)
         obs.count("batch.batched_replays", result.batched_count)
         obs.count("batch.fallback_replays", result.fallback_count)
+        if result.quarantined_count:
+            obs.count("resilience.quarantined", result.quarantined_count)
         return result
 
     def _run(self, specs: List[ReplaySpec]) -> BatchReplayResult:
+        quarantine = self.on_error == "quarantine"
+        # Building 1000 identity strings just to feed an unarmed chaos
+        # hook is measurable on large batches; skip the per-spec
+        # fault_point entirely unless a plan is installed.
+        chaos_armed = active_plan() is not None
         placements: List[Optional[tuple]] = [None] * len(specs)
         single_groups: Dict[tuple, List[int]] = {}
         fleet_groups: Dict[tuple, List[int]] = {}
         timeline_cache: dict = {}
         for position, spec in enumerate(specs):
-            governor = self._resolve_governor(spec.governor)
-            if spec.is_fleet:
-                routing = self._resolve_routing(spec.routing)
-                # Disturbance schedules stay per-replay: the batched
-                # (B, N, T) state machine has no event timeline, so
-                # they replay through the simulator path (which still
-                # dispatches crash/restore schedules to the
-                # single-replay kernel, bit-for-bit).
-                if spec.disturbances is None and fleet_kernel.supports(
-                    routing, governor, spec.autoscaler
-                ):
-                    key = (
-                        spec.workload,
-                        governor,
-                        routing,
-                        spec.autoscaler,
-                        spec.fleet_size,
-                        spec.off_power_w,
-                        self._use_queueing(spec),
+            try:
+                if chaos_armed:
+                    fault_point(
+                        "batch.replay",
+                        identity=_spec_identity(position, spec),
                     )
-                    fleet_groups.setdefault(key, []).append(position)
+                governor = self._resolve_governor(spec.governor)
+                if spec.is_fleet:
+                    routing = self._resolve_routing(spec.routing)
+                    # Disturbance schedules stay per-replay: the batched
+                    # (B, N, T) state machine has no event timeline, so
+                    # they replay through the simulator path (which still
+                    # dispatches crash/restore schedules to the
+                    # single-replay kernel, bit-for-bit).
+                    if spec.disturbances is None and fleet_kernel.supports(
+                        routing, governor, spec.autoscaler
+                    ):
+                        key = (
+                            spec.workload,
+                            governor,
+                            routing,
+                            spec.autoscaler,
+                            spec.fleet_size,
+                            spec.off_power_w,
+                            self._use_queueing(spec),
+                        )
+                        fleet_groups.setdefault(key, []).append(position)
+                    else:
+                        placements[position] = (
+                            "object",
+                            self._fallback(spec),
+                            0,
+                        )
                 else:
-                    placements[position] = (
-                        "object",
-                        self._fallback(spec),
-                        0,
-                    )
-            else:
-                if has_kernel(governor):
-                    key = (spec.workload, governor)
-                    single_groups.setdefault(key, []).append(position)
-                else:
-                    placements[position] = (
-                        "object",
-                        self._fallback(spec),
-                        0,
-                    )
+                    if has_kernel(governor):
+                        key = (spec.workload, governor)
+                        single_groups.setdefault(key, []).append(position)
+                    else:
+                        placements[position] = (
+                            "object",
+                            self._fallback(spec),
+                            0,
+                        )
+            except Exception as error:
+                if not quarantine:
+                    raise
+                placements[position] = _quarantined_placement(
+                    position, specs[position], error
+                )
         for (workload, governor), positions in single_groups.items():
-            batch = GovernorReplayBatch(
-                self._table(workload),
-                governor,
-                [specs[position].trace for position in positions],
-                workload=workload,
-            )
+            try:
+                fault_point(
+                    "batch.group",
+                    identity=f"group ({workload.name}, {governor.name})",
+                )
+                batch = GovernorReplayBatch(
+                    self._table(workload),
+                    governor,
+                    [specs[position].trace for position in positions],
+                    workload=workload,
+                )
+            except Exception:
+                if not quarantine:
+                    raise
+                # A failed group build loses nothing: the per-replay
+                # simulator path is bit-identical, so degrade every
+                # member to it (quarantining only members that fail
+                # even there).
+                self._degrade_group(specs, positions, placements)
+                continue
             for row, position in enumerate(positions):
                 placements[position] = ("batch", batch, row)
         for key, positions in fleet_groups.items():
@@ -1140,21 +1258,53 @@ class BatchReplayRunner:
                 off_power_w,
                 use_queueing,
             ) = key
-            batch = FleetReplayBatch(
-                self._table(workload),
-                workload,
-                fleet_size,
-                governor,
-                routing,
-                autoscaler,
-                off_power_w,
-                [specs[position].trace for position in positions],
-                use_queueing,
-                timeline_cache=timeline_cache,
-            )
+            try:
+                fault_point(
+                    "batch.group",
+                    identity=(
+                        f"group ({workload.name}, {governor.name}, "
+                        f"fleet {fleet_size})"
+                    ),
+                )
+                batch = FleetReplayBatch(
+                    self._table(workload),
+                    workload,
+                    fleet_size,
+                    governor,
+                    routing,
+                    autoscaler,
+                    off_power_w,
+                    [specs[position].trace for position in positions],
+                    use_queueing,
+                    timeline_cache=timeline_cache,
+                )
+            except Exception:
+                if not quarantine:
+                    raise
+                self._degrade_group(specs, positions, placements)
+                continue
             for row, position in enumerate(positions):
                 placements[position] = ("batch", batch, row)
         return BatchReplayResult(specs, placements)
+
+    def _degrade_group(
+        self,
+        specs: List[ReplaySpec],
+        positions: List[int],
+        placements: List[Optional[tuple]],
+    ) -> None:
+        """Re-run a failed group's members through the simulator path."""
+        for position in positions:
+            try:
+                placements[position] = (
+                    "object",
+                    self._fallback(specs[position]),
+                    0,
+                )
+            except Exception as error:
+                placements[position] = _quarantined_placement(
+                    position, specs[position], error
+                )
 
     def _fallback(self, spec: ReplaySpec):
         """One unsupported spec through the per-replay simulator path."""

@@ -1,0 +1,241 @@
+"""Atomic, digest-validated checkpoints for resumable runs.
+
+Checkpoints follow three rules so a resumed run is trustworthy:
+
+* **Atomic writes.**  :func:`atomic_write_text` writes to a temporary
+  file in the destination directory and ``os.replace``\\ s it into
+  place, so a kill at any instant leaves either the previous file or
+  the complete new one -- never a truncated half-write.
+* **Validated reads.**  Every checkpoint is a strict-JSON envelope
+  ``{"format", "digest", "payload"}`` where ``digest`` is the SHA-256
+  of the canonical payload serialization.  :func:`read_checkpoint`
+  re-derives the digest and rejects truncated, corrupt or
+  hand-edited files with a :class:`~repro.resilience.errors.CheckpointError`
+  naming the file and the precise defect; callers then *rebuild* the
+  checkpoint by redoing the work, they never trust a damaged one.
+* **Exact float round-trips.**  JSON's shortest-repr float encoding is
+  bit-exact on round-trip, and the non-finite values strict JSON
+  rejects (``inf`` objectives from infeasible trials) are carried as
+  ``{"__nonfinite__": "inf"}`` sentinels by :func:`encode_floats` /
+  :func:`decode_floats` -- so resumed results are bit-identical to
+  uninterrupted ones.
+
+:class:`CheckpointStore` wraps a directory of named checkpoints with
+a fingerprint check: a checkpoint written for one run configuration is
+silently ignored (and rebuilt) when loaded under a different one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro import obs
+from repro.resilience.errors import CheckpointError
+
+CHECKPOINT_FORMAT = "repro.checkpoint.v1"
+
+_NONFINITE_KEY = "__nonfinite__"
+_NONFINITE_ENCODE = {math.inf: "inf", -math.inf: "-inf"}
+_NONFINITE_DECODE = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the
+    replace is a same-filesystem rename; it is flushed and fsynced
+    before the rename so a crash cannot publish an empty file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def encode_floats(value: object) -> object:
+    """Recursively replace non-finite floats with JSON-safe sentinels."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {_NONFINITE_KEY: "nan"}
+        return {_NONFINITE_KEY: _NONFINITE_ENCODE[value]}
+    if isinstance(value, dict):
+        return {key: encode_floats(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_floats(item) for item in value]
+    return value
+
+
+def decode_floats(value: object) -> object:
+    """Inverse of :func:`encode_floats`."""
+    if isinstance(value, dict):
+        if set(value) == {_NONFINITE_KEY}:
+            label = value[_NONFINITE_KEY]
+            if label not in _NONFINITE_DECODE:
+                raise CheckpointError(
+                    f"checkpoint: unknown non-finite sentinel {label!r}"
+                )
+            return _NONFINITE_DECODE[label]
+        return {key: decode_floats(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_floats(item) for item in value]
+    return value
+
+
+def _canonical(payload: object) -> str:
+    """The canonical serialization digests are computed over."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def payload_digest(payload: object) -> str:
+    """SHA-256 hex digest of the canonical payload serialization."""
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def write_checkpoint(path: Path, payload: object) -> None:
+    """Atomically write a digest-sealed checkpoint envelope.
+
+    ``payload`` must be strict-JSON-able after :func:`encode_floats`
+    (pass results through it first when they can carry ``inf``).
+    """
+    try:
+        body = _canonical(payload)
+    except (TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"checkpoint {Path(path).name!r}: payload is not "
+            f"strict-JSON serializable: {error}"
+        ) from error
+    envelope = {
+        "format": CHECKPOINT_FORMAT,
+        "digest": hashlib.sha256(body.encode()).hexdigest(),
+        "payload": payload,
+    }
+    atomic_write_text(
+        Path(path),
+        json.dumps(envelope, sort_keys=True, indent=2, allow_nan=False)
+        + "\n",
+    )
+    obs.count("resilience.checkpoint_saves")
+
+
+def read_checkpoint(path: Path) -> object:
+    """Read and validate a checkpoint envelope; return its payload.
+
+    Raises :class:`~repro.resilience.errors.CheckpointError` naming the
+    file and the exact defect -- missing, unparseable (truncated or
+    corrupt JSON), wrong envelope shape, unknown format version, or a
+    digest mismatch (content damaged after writing).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path.name!r}: file does not exist")
+    text = path.read_text(encoding="utf-8")
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"checkpoint {path.name!r}: truncated or corrupt JSON "
+            f"({error.msg} at char {error.pos})"
+        ) from error
+    if not isinstance(envelope, dict) or not {
+        "format",
+        "digest",
+        "payload",
+    } <= set(envelope):
+        raise CheckpointError(
+            f"checkpoint {path.name!r}: not a checkpoint envelope "
+            "(missing format/digest/payload keys)"
+        )
+    if envelope["format"] != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint {path.name!r}: unknown format "
+            f"{envelope['format']!r} (expected {CHECKPOINT_FORMAT!r})"
+        )
+    payload = envelope["payload"]
+    digest = payload_digest(payload)
+    if digest != envelope["digest"]:
+        raise CheckpointError(
+            f"checkpoint {path.name!r}: content digest mismatch "
+            f"(expected {envelope['digest'][:12]}..., "
+            f"recomputed {digest[:12]}...)"
+        )
+    return payload
+
+
+class CheckpointStore:
+    """A directory of named, fingerprinted checkpoints.
+
+    ``fingerprint`` binds checkpoints to one run configuration (e.g. a
+    hash of the parameter space, strategy and workload identity): a
+    checkpoint saved under a different fingerprint is treated as absent
+    by :meth:`load_valid`, so a changed run silently rebuilds instead
+    of resuming from stale state.
+    """
+
+    def __init__(self, directory: Path, *, fingerprint: str = "") -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+
+    def path(self, name: str) -> Path:
+        """Where the checkpoint called ``name`` lives."""
+        return self.directory / f"{name}.json"
+
+    def save(self, name: str, payload: Dict[str, object]) -> Path:
+        """Seal ``payload`` (with the store fingerprint) under ``name``."""
+        record = dict(payload)
+        record["fingerprint"] = self.fingerprint
+        target = self.path(name)
+        write_checkpoint(target, record)
+        return target
+
+    def load(self, name: str) -> Dict[str, object]:
+        """Load ``name`` or raise :class:`CheckpointError` precisely."""
+        payload = read_checkpoint(self.path(name))
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                f"checkpoint {self.path(name).name!r}: payload is "
+                f"{type(payload).__name__}, expected an object"
+            )
+        if payload.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint {self.path(name).name!r}: fingerprint "
+                "mismatch (saved by a different run configuration)"
+            )
+        return payload
+
+    def load_valid(self, name: str) -> Optional[Dict[str, object]]:
+        """Load ``name`` if present and valid; ``None`` otherwise.
+
+        Damaged or stale checkpoints count against
+        ``resilience.checkpoint_rejected`` and are treated as absent,
+        so callers rebuild them by redoing (and re-saving) the work.
+        """
+        if not self.path(name).exists():
+            return None
+        try:
+            payload = self.load(name)
+        except CheckpointError:
+            obs.count("resilience.checkpoint_rejected")
+            return None
+        obs.count("resilience.checkpoint_hits")
+        return payload

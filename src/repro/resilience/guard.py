@@ -1,0 +1,171 @@
+"""Guarded execution: deterministic retry and cooperative deadlines.
+
+:func:`run_guarded` wraps a callable that may fail *transiently* -- an
+injected chaos fault, an analysis hiccup, a cooperative deadline
+expiring -- and re-attempts it a bounded number of times.  Two design
+rules keep guarded runs reproducible:
+
+* **No wall-clock in any decision.**  The backoff between attempts is a
+  deterministic function of ``(seed, attempt)`` -- a simulated step
+  count recorded in the ``resilience.backoff_steps`` counter, never a
+  ``time.sleep`` -- so a guarded run produces the same attempt
+  sequence, the same counters and the same result on every execution.
+* **Deadlines are cooperative step budgets, not timers.**  A
+  :class:`Deadline` is a budget of abstract steps; code under the guard
+  spends it explicitly through :meth:`Deadline.consume` (the chaos
+  harness's ``delay`` faults do exactly that), and exhaustion raises
+  :class:`~repro.resilience.errors.DeadlineExceeded` at a
+  deterministic point instead of an arbitrary preemption.
+
+The active deadline is thread-local and nestable:
+:func:`current_deadline` exposes the innermost one so deeply nested
+code (and :func:`~repro.resilience.chaos.fault_point` delay actions)
+can spend budget without threading the object through every signature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro import obs
+from repro.resilience.errors import DeadlineExceeded, TransientError
+
+T = TypeVar("T")
+
+RETRYABLE: Tuple[Type[BaseException], ...] = (TransientError,)
+"""Default retryable faults: the :class:`TransientError` subtree
+(injected chaos faults, expired deadlines)."""
+
+_LOCAL = threading.local()
+
+
+class Deadline:
+    """A cooperative budget of abstract steps.
+
+    ``consume`` spends budget and raises
+    :class:`~repro.resilience.errors.DeadlineExceeded` the moment the
+    budget would go negative -- deterministically, at the consuming
+    call site, never from a timer.
+    """
+
+    def __init__(self, steps: int, *, identity: str = "") -> None:
+        if not isinstance(steps, int) or steps < 1:
+            raise ValueError(
+                f"deadline: step budget must be an integer >= 1, "
+                f"got {steps!r}"
+            )
+        self.limit = steps
+        self.used = 0
+        self.identity = identity
+
+    @property
+    def remaining(self) -> int:
+        """Steps left before the budget expires."""
+        return self.limit - self.used
+
+    def consume(self, steps: int = 1) -> None:
+        """Spend ``steps`` of budget; raise once it would go negative."""
+        if steps < 0:
+            raise ValueError(
+                f"deadline: cannot consume a negative step count ({steps})"
+            )
+        self.used += steps
+        if self.used > self.limit:
+            raise DeadlineExceeded(
+                f"cooperative deadline of {self.limit} steps exceeded "
+                f"(consumed {self.used})",
+                identity=self.identity,
+            )
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The innermost active deadline on this thread, if any."""
+    stack = getattr(_LOCAL, "stack", None)
+    if not stack:
+        return None
+    return stack[-1]
+
+
+class _PushedDeadline:
+    """Context manager installing a deadline on the thread-local stack."""
+
+    __slots__ = ("_deadline",)
+
+    def __init__(self, deadline: Optional[Deadline]) -> None:
+        self._deadline = deadline
+
+    def __enter__(self) -> Optional[Deadline]:
+        if self._deadline is not None:
+            stack = getattr(_LOCAL, "stack", None)
+            if stack is None:
+                stack = []
+                _LOCAL.stack = stack
+            stack.append(self._deadline)
+        return self._deadline
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._deadline is not None:
+            _LOCAL.stack.pop()
+        return False
+
+
+def backoff_steps(attempt: int, *, seed: int = 0, base: int = 1) -> int:
+    """Deterministic exponential backoff with seeded jitter, in steps.
+
+    ``base * 2**attempt`` plus a jitter in ``[0, base)`` derived from a
+    SHA-256 of ``(seed, attempt)`` -- stable across processes, Python
+    versions and platforms, and entirely free of wall-clock state.
+    """
+    if attempt < 0:
+        raise ValueError(f"backoff: attempt must be >= 0, got {attempt}")
+    if base < 1:
+        raise ValueError(f"backoff: base must be >= 1, got {base}")
+    digest = hashlib.sha256(f"{seed}:{attempt}".encode()).digest()
+    jitter = int.from_bytes(digest[:8], "big") % base
+    return base * (2**attempt) + jitter
+
+
+def run_guarded(
+    fn: Callable[..., T],
+    *args: object,
+    retries: int = 0,
+    deadline_steps: Optional[int] = None,
+    retry_on: Tuple[Type[BaseException], ...] = RETRYABLE,
+    backoff_base: int = 1,
+    seed: int = 0,
+    identity: str = "",
+    **kwargs: object,
+) -> T:
+    """Call ``fn`` under a retry guard and an optional deadline.
+
+    Each attempt runs with a fresh :class:`Deadline` of
+    ``deadline_steps`` installed (``None`` = unbounded).  Faults in
+    ``retry_on`` (default: the transient subtree) are retried up to
+    ``retries`` times with deterministic seeded backoff; the final
+    failure -- or any non-retryable fault -- propagates unchanged.
+    Retries and simulated backoff steps land in the
+    ``resilience.retries`` / ``resilience.backoff_steps`` counters.
+    """
+    if not isinstance(retries, int) or retries < 0:
+        raise ValueError(
+            f"run_guarded: retries must be an integer >= 0, got {retries!r}"
+        )
+    attempts = retries + 1
+    for attempt in range(attempts):
+        deadline = (
+            None
+            if deadline_steps is None
+            else Deadline(deadline_steps, identity=identity)
+        )
+        try:
+            with _PushedDeadline(deadline):
+                return fn(*args, **kwargs)
+        except retry_on:
+            if attempt + 1 >= attempts:
+                raise
+            steps = backoff_steps(attempt, seed=seed, base=backoff_base)
+            obs.count("resilience.retries")
+            obs.count("resilience.backoff_steps", steps)
+    raise AssertionError("unreachable: the retry loop returns or raises")

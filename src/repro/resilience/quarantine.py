@@ -1,0 +1,73 @@
+"""Quarantine records: what failed, where, and why -- not whole batches.
+
+``on_error="quarantine"`` mode (opt-in on
+:class:`~repro.kernels.batch.BatchReplayRunner`,
+:class:`~repro.opt.tuner.PolicyTuner` and
+:class:`~repro.scenarios.runner.ScenarioRunner`) replaces "first bad
+item kills the run" with "bad items are isolated, everything else
+completes".  The isolated items are reported as
+:class:`FailedSummary` placeholders: frozen, JSON-able records of the
+failing item's identity and fault, which take the failed item's slot in
+results so positions stay stable and callers can tell exactly which
+items were lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.resilience.errors import ExecutionFault, classify
+
+
+@dataclass(frozen=True)
+class FailedSummary:
+    """Placeholder summary for a quarantined item.
+
+    Sits where the real summary dict would have been, so a batch of B
+    replays always yields B entries -- callers check
+    ``isinstance(entry, FailedSummary)`` (or the ``"failed"`` key of
+    :meth:`as_dict`) to tell quarantined slots from real summaries.
+    """
+
+    identity: str
+    stage: str
+    error_type: str
+    message: str
+
+    @classmethod
+    def from_fault(cls, fault: ExecutionFault) -> "FailedSummary":
+        """The record of one classified fault."""
+        return cls(
+            identity=fault.identity,
+            stage=fault.stage,
+            error_type=type(fault).__name__,
+            message=str(fault),
+        )
+
+    @classmethod
+    def from_exception(
+        cls,
+        error: BaseException,
+        *,
+        identity: str = "",
+        stage: str = "replay",
+    ) -> "FailedSummary":
+        """Classify an arbitrary exception and record it."""
+        return cls.from_fault(
+            classify(error, identity=identity, stage=stage)
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able record (reports, checkpoints, CLI rendering)."""
+        return {
+            "failed": True,
+            "identity": self.identity,
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    def describe(self) -> str:
+        """One log-friendly line: identity, fault type and message."""
+        return f"{self.identity or 'item'}: {self.error_type}: {self.message}"

@@ -28,6 +28,10 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.resilience import CheckpointStore, FaultPlan, atomic_write_text
+from repro.resilience import chaos as _chaos
+from repro.resilience.checkpoint import payload_digest
+from repro.resilience.errors import classify
 from repro.scenarios.registry import REGISTRY, ScenarioRegistry
 from repro.scenarios.runner import ScenarioResult, ScenarioRunner, _public_tree
 from repro.sweep.result import COLUMNS
@@ -99,6 +103,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--outdir", type=Path, help="write one output file per scenario to DIR"
+    )
+    run_parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "quarantine failing scenarios instead of aborting the run; "
+            "exit 3 when anything was quarantined, 2 when nothing "
+            "succeeded"
+        ),
+    )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        metavar="DIR",
+        help=(
+            "checkpoint each completed scenario's output to DIR "
+            "(atomic, digest-validated); a re-run resumes completed "
+            "scenarios instead of re-executing them"
+        ),
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry transient analysis faults up to N times (default: 0)",
+    )
+    run_parser.add_argument(
+        "--inject-fault",
+        metavar="SITE:N:ACTION",
+        help=(
+            "chaos harness: fire ACTION (raise|nan|delay) at the Nth "
+            "call of SITE (e.g. scenario.analysis:1:raise); for "
+            "resilience testing"
+        ),
     )
     return parser
 
@@ -414,13 +453,62 @@ def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
         )
         return 2
 
-    runner = ScenarioRunner(registry=registry, parallel=args.parallel)
+    if args.inject_fault is not None:
+        try:
+            _chaos.install(FaultPlan.parse(args.inject_fault))
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        return _run_scenarios(args, registry, names)
+    finally:
+        if args.inject_fault is not None:
+            _chaos.install(None)
+
+
+def _checkpoint_store(args: argparse.Namespace) -> Optional[CheckpointStore]:
+    """The per-scenario output checkpoint store, when ``--checkpoint-dir``.
+
+    The fingerprint binds checkpoints to the flags that shape the
+    rendered output, so a re-run with a different format rebuilds
+    instead of resuming stale bytes.
+    """
+    if args.checkpoint_dir is None:
+        return None
+    fingerprint = payload_digest(
+        {
+            "format": args.format,
+            "sweep": bool(args.sweep),
+            "timing": bool(args.timing),
+        }
+    )
+    return CheckpointStore(args.checkpoint_dir, fingerprint=fingerprint)
+
+
+def _run_scenarios(
+    args: argparse.Namespace, registry: ScenarioRegistry, names: List[str]
+) -> int:
+    runner = ScenarioRunner(
+        registry=registry, parallel=args.parallel, retries=args.retries
+    )
     extension = {"table": "txt", "csv": "csv", "json": "json"}[args.format]
     want_report = args.profile or args.report_out is not None
     timing_rows: List[Tuple[str, Dict[str, object]]] = []
     reports: List[obs.RunReport] = []
     instrument = args.timing or want_report
+    store = _checkpoint_store(args)
+    quarantined: List[str] = []
+    completed = 0
     for name in names:
+        if store is not None:
+            cached = store.load_valid(name)
+            if cached is not None and cached.get("scenario") == name:
+                print(
+                    f"note: {name} resumed from checkpoint", file=sys.stderr
+                )
+                _emit(args, name, str(cached["rendered"]), extension)
+                completed += 1
+                continue
         # One capture per scenario: --timing reads its wall clock and
         # batch.run spans, --profile/--report-out freeze it whole.
         # Without any of those flags instrumentation stays off (the
@@ -432,9 +520,21 @@ def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
                     result = runner.run(name)
             else:
                 result = runner.run(name)
-        except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
+        except Exception as error:
+            if args.keep_going:
+                fault = classify(
+                    error, identity=f"scenario {name!r}", stage="scenario"
+                )
+                print(
+                    f"error (quarantined): {fault.describe()}",
+                    file=sys.stderr,
+                )
+                quarantined.append(name)
+                continue
+            if isinstance(error, ValueError):
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            raise
         report: Optional[obs.RunReport] = None
         if want_report:
             report = capture.report(
@@ -455,16 +555,10 @@ def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
                 timing.update(batch_info)
             timing_rows.append((result.spec.name, timing))
         rendered = _render(result, args.format, args.sweep, timing)
-        if args.output is not None:
-            args.output.write_text(rendered + "\n")
-            print(f"wrote {args.output}")
-        elif args.outdir is not None:
-            args.outdir.mkdir(parents=True, exist_ok=True)
-            path = args.outdir / f"{result.spec.name}.{extension}"
-            path.write_text(rendered + "\n")
-            print(f"wrote {path}")
-        else:
-            print(rendered)
+        if store is not None:
+            store.save(name, {"scenario": name, "rendered": rendered})
+        _emit(args, result.spec.name, rendered, extension)
+        completed += 1
         if args.profile and report is not None:
             print()
             print(f"profile: {result.spec.name}")
@@ -473,12 +567,43 @@ def _run_command(args: argparse.Namespace, registry: ScenarioRegistry) -> int:
         print()
         print(_render_timing_summary(timing_rows))
     if args.report_out is not None:
-        merged = obs.RunReport.merge(
-            reports, meta={"scenarios": [name for name in names]}
+        if reports:
+            merged = obs.RunReport.merge(
+                reports, meta={"scenarios": [name for name in names]}
+            )
+            atomic_write_text(args.report_out, merged.to_json() + "\n")
+            print(f"wrote {args.report_out}")
+        else:
+            # Every scenario was resumed or quarantined: nothing was
+            # instrumented, so there is no report to overwrite.
+            print(
+                f"note: no scenarios executed; {args.report_out} not "
+                "written",
+                file=sys.stderr,
+            )
+    if quarantined:
+        print(
+            f"quarantined {len(quarantined)} of {len(names)} scenarios: "
+            + ", ".join(quarantined),
+            file=sys.stderr,
         )
-        args.report_out.write_text(merged.to_json() + "\n")
-        print(f"wrote {args.report_out}")
+        return 3 if completed else 2
     return 0
+
+
+def _emit(
+    args: argparse.Namespace, name: str, rendered: str, extension: str
+) -> None:
+    """Deliver one scenario's rendered output (stdout or atomic file)."""
+    if args.output is not None:
+        atomic_write_text(args.output, rendered + "\n")
+        print(f"wrote {args.output}")
+    elif args.outdir is not None:
+        path = args.outdir / f"{name}.{extension}"
+        atomic_write_text(path, rendered + "\n")
+        print(f"wrote {path}")
+    else:
+        print(rendered)
 
 
 def main(argv: Sequence[str] | None = None, registry: ScenarioRegistry = REGISTRY) -> int:

@@ -18,6 +18,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping
 
 from repro import obs
+from repro.resilience import (
+    FailedSummary,
+    check_on_error,
+    classify,
+    fault_point,
+    run_guarded,
+)
 from repro.scenarios.analyses import ANALYSES
 from repro.scenarios.registry import REGISTRY, ScenarioRegistry
 from repro.scenarios.spec import ScenarioSpec
@@ -179,11 +186,17 @@ class ScenarioRunner:
     parallel / max_workers:
         Passed through to :class:`~repro.sweep.runner.SweepRunner`;
         serial and parallel runs produce identical tables.
+    retries:
+        Re-attempts for *transient* analysis faults (injected chaos
+        faults, expired deadlines) via
+        :func:`~repro.resilience.run_guarded` -- deterministic, seeded,
+        and a no-op for runs that never fault.
     """
 
     registry: ScenarioRegistry = field(default_factory=lambda: REGISTRY)
     parallel: bool = False
     max_workers: int | None = None
+    retries: int = 0
 
     def resolve(self, scenario: str | ScenarioSpec) -> ScenarioSpec:
         """A spec from either a registered name or an explicit spec."""
@@ -199,6 +212,7 @@ class ScenarioRunner:
         analyses are reductions over the same columnar table.
         """
         spec = self.resolve(scenario)
+        fault_point("scenario.run", identity=f"scenario {spec.name!r}")
         with obs.trace("scenario.run", scenario=spec.name):
             with obs.trace("scenario.context_build", scenario=spec.name):
                 configuration = spec.configuration()
@@ -230,7 +244,9 @@ class ScenarioRunner:
             extras = {}
             for analysis in spec.analyses:
                 with obs.trace("scenario.analysis", analysis=analysis):
-                    extras[analysis] = ANALYSES[analysis](spec, context, sweep)
+                    extras[analysis] = self._run_analysis(
+                        spec, context, sweep, analysis
+                    )
         return ScenarioResult(
             spec=spec,
             sweep=sweep,
@@ -239,6 +255,43 @@ class ScenarioRunner:
             context=context,
         )
 
-    def run_all(self) -> Mapping[str, ScenarioResult]:
-        """Run every registered scenario, keyed by name."""
-        return {spec.name: self.run(spec) for spec in self.registry}
+    def _run_analysis(self, spec, context, sweep, analysis: str):
+        """One analysis, retried for transient faults when configured."""
+        identity = f"scenario {spec.name!r} analysis {analysis!r}"
+
+        def evaluate():
+            fault_point("scenario.analysis", identity=identity)
+            return ANALYSES[analysis](spec, context, sweep)
+
+        if not self.retries:
+            return evaluate()
+        return run_guarded(evaluate, retries=self.retries, identity=identity)
+
+    def run_all(
+        self, on_error: str = "raise"
+    ) -> Mapping[str, "ScenarioResult | FailedSummary"]:
+        """Run every registered scenario, keyed by name.
+
+        ``on_error="raise"`` (the default) propagates the first
+        failure, exactly as before.  ``on_error="quarantine"`` isolates
+        failing scenarios instead: their slot in the mapping holds a
+        :class:`~repro.resilience.FailedSummary` describing the fault,
+        every other scenario's result is untouched, and each isolation
+        counts against ``resilience.quarantined``.
+        """
+        check_on_error(on_error)
+        results: Dict[str, "ScenarioResult | FailedSummary"] = {}
+        for spec in self.registry:
+            try:
+                results[spec.name] = self.run(spec)
+            except Exception as error:
+                if on_error != "quarantine":
+                    raise
+                fault = classify(
+                    error,
+                    identity=f"scenario {spec.name!r}",
+                    stage="scenario",
+                )
+                results[spec.name] = FailedSummary.from_fault(fault)
+                obs.count("resilience.quarantined")
+        return results

@@ -1,0 +1,171 @@
+"""Atomic writes and digest-validated checkpoints.
+
+The kill-mid-write regression is the satellite this file exists for:
+an interrupted :func:`atomic_write_text` must leave either the old
+complete file or the new complete file on disk, never truncated bytes.
+The checkpoint tests pin that every damaged-file mode (truncated,
+bit-rotted, wrong schema, wrong format, stale fingerprint) is rejected
+with a precise :class:`CheckpointError` and treated as absent by
+:meth:`CheckpointStore.load_valid` so callers rebuild.
+"""
+
+import json
+import math
+import os
+from unittest import mock
+
+import pytest
+
+from repro.resilience import (
+    CheckpointError,
+    CheckpointStore,
+    atomic_write_text,
+    decode_floats,
+    encode_floats,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+
+# -- atomic writes ---------------------------------------------------------------------
+
+
+def test_atomic_write_creates_parents_and_content(tmp_path):
+    target = tmp_path / "deep" / "nested" / "out.json"
+    atomic_write_text(target, '{"ok": true}\n')
+    assert target.read_text() == '{"ok": true}\n'
+    # No temporary litter left behind.
+    assert os.listdir(target.parent) == ["out.json"]
+
+
+def test_kill_mid_write_never_leaves_a_truncated_file(tmp_path):
+    """Regression: a crash during the write leaves the old file intact."""
+    target = tmp_path / "artifact.json"
+    atomic_write_text(target, "old complete contents\n")
+
+    class Killed(BaseException):
+        """Simulates SIGKILL-like interruption inside the write."""
+
+    real_replace = os.replace
+    with mock.patch("os.replace", side_effect=Killed):
+        with pytest.raises(Killed):
+            atomic_write_text(target, "new contents that never landed\n")
+    # The old artifact is still complete, byte for byte...
+    assert target.read_text() == "old complete contents\n"
+    # ...and the aborted temp file was cleaned up.
+    assert os.listdir(tmp_path) == ["artifact.json"]
+    atomic_write_text(target, "second attempt\n")
+    assert target.read_text() == "second attempt\n"
+    assert os.replace is real_replace
+
+
+# -- float sentinels -------------------------------------------------------------------
+
+
+def test_nonfinite_floats_round_trip_through_sentinels():
+    payload = {
+        "objective": math.inf,
+        "neg": -math.inf,
+        "nan": math.nan,
+        "plain": 0.1 + 0.2,
+        "nested": [1, {"x": math.inf}, None, True],
+    }
+    encoded = encode_floats(payload)
+    text = json.dumps(encoded, allow_nan=False)  # strict JSON accepts it
+    decoded = decode_floats(json.loads(text))
+    assert decoded["objective"] == math.inf
+    assert decoded["neg"] == -math.inf
+    assert math.isnan(decoded["nan"])
+    assert decoded["plain"] == payload["plain"]  # bit-exact round trip
+    assert decoded["nested"] == [1, {"x": math.inf}, None, True]
+
+
+def test_unknown_sentinel_is_rejected():
+    with pytest.raises(CheckpointError, match="sentinel"):
+        decode_floats({"__nonfinite__": "huge"})
+
+
+# -- checkpoint envelopes --------------------------------------------------------------
+
+
+def test_checkpoint_round_trip(tmp_path):
+    path = tmp_path / "rung_000.json"
+    payload = {"trials": [1, 2, 3], "value": 0.25}
+    write_checkpoint(path, payload)
+    assert read_checkpoint(path) == payload
+
+
+def test_missing_checkpoint_is_a_precise_error(tmp_path):
+    with pytest.raises(CheckpointError, match="does not exist"):
+        read_checkpoint(tmp_path / "absent.json")
+
+
+def test_truncated_checkpoint_is_rejected(tmp_path):
+    path = tmp_path / "rung_000.json"
+    write_checkpoint(path, {"trials": list(range(50))})
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])
+    with pytest.raises(CheckpointError, match="truncated or corrupt"):
+        read_checkpoint(path)
+
+
+def test_bit_rot_fails_the_digest(tmp_path):
+    path = tmp_path / "rung_000.json"
+    write_checkpoint(path, {"value": 123})
+    damaged = path.read_text().replace("123", "124")
+    path.write_text(damaged)
+    with pytest.raises(CheckpointError, match="digest mismatch"):
+        read_checkpoint(path)
+
+
+def test_wrong_shape_and_format_are_rejected(tmp_path):
+    path = tmp_path / "x.json"
+    path.write_text('{"not": "an envelope"}')
+    with pytest.raises(CheckpointError, match="envelope"):
+        read_checkpoint(path)
+    path.write_text(
+        json.dumps({"format": "future.v9", "digest": "0" * 64, "payload": {}})
+    )
+    with pytest.raises(CheckpointError, match="unknown format"):
+        read_checkpoint(path)
+
+
+def test_non_serializable_payload_is_rejected_up_front(tmp_path):
+    with pytest.raises(CheckpointError, match="not strict-JSON"):
+        write_checkpoint(tmp_path / "bad.json", {"objective": math.inf})
+
+
+# -- the store -------------------------------------------------------------------------
+
+
+def test_store_fingerprint_gates_resume(tmp_path):
+    store = CheckpointStore(tmp_path, fingerprint="run-a")
+    store.save("rung_000", {"trials": [1]})
+    assert store.load("rung_000")["trials"] == [1]
+    assert store.load_valid("rung_000")["trials"] == [1]
+
+    # A different run configuration must not resume these bytes.
+    other = CheckpointStore(tmp_path, fingerprint="run-b")
+    with pytest.raises(CheckpointError, match="fingerprint"):
+        other.load("rung_000")
+    assert other.load_valid("rung_000") is None
+
+
+def test_store_rejects_non_object_payloads(tmp_path):
+    store = CheckpointStore(tmp_path, fingerprint="f")
+    write_checkpoint(store.path("rung_000"), [1, 2, 3])
+    with pytest.raises(CheckpointError, match="expected an object"):
+        store.load("rung_000")
+    assert store.load_valid("rung_000") is None
+
+
+def test_store_treats_damage_as_absent(tmp_path):
+    store = CheckpointStore(tmp_path, fingerprint="f")
+    assert store.load_valid("rung_000") is None
+    store.save("rung_000", {"trials": [1]})
+    path = store.path("rung_000")
+    path.write_text(path.read_text()[:30])
+    assert store.load_valid("rung_000") is None
+    # Rebuild over the damage works.
+    store.save("rung_000", {"trials": [2]})
+    assert store.load_valid("rung_000")["trials"] == [2]

@@ -1,0 +1,335 @@
+"""The resilience primitives: taxonomy, quarantine records, guard, chaos.
+
+Unit-level pins for the building blocks the stack wiring relies on:
+fault classification is idempotent and identity-preserving, deadlines
+are cooperative step budgets with no wall clock, backoff is a pure
+seeded function, and fault plans are plain deterministic data.
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro.resilience import (
+    AnalysisFault,
+    CheckpointError,
+    Deadline,
+    DeadlineExceeded,
+    ExecutionFault,
+    FailedSummary,
+    FaultPlan,
+    InjectedFault,
+    ReplayFault,
+    SpecError,
+    TransientError,
+    backoff_steps,
+    check_on_error,
+    classify,
+    corrupt,
+    current_deadline,
+    fault_point,
+    inject,
+    run_guarded,
+)
+from repro.resilience import chaos
+
+
+# -- taxonomy --------------------------------------------------------------------------
+
+
+def test_faults_carry_identity_and_stage():
+    fault = ReplayFault("kernel blew up", identity="replay 7")
+    assert fault.identity == "replay 7"
+    assert fault.stage == "replay"
+    assert fault.describe() == "replay 7: kernel blew up"
+    assert ReplayFault("x").describe() == "x"
+
+
+def test_spec_and_checkpoint_errors_are_value_errors():
+    # Existing ``except ValueError`` contracts (CLI rendering,
+    # validation tests) must keep catching the new structured types.
+    assert issubclass(SpecError, ValueError)
+    assert issubclass(CheckpointError, ValueError)
+    with pytest.raises(ValueError):
+        raise SpecError("bad spec")
+
+
+def test_transient_subtree():
+    assert issubclass(InjectedFault, TransientError)
+    assert issubclass(DeadlineExceeded, TransientError)
+    assert not issubclass(ReplayFault, TransientError)
+
+
+def test_analysis_fault_builds_identity_from_names():
+    fault = AnalysisFault("boom", scenario="fig2_qos", analysis="policy_opt")
+    assert fault.scenario == "fig2_qos"
+    assert "fig2_qos" in fault.identity and "policy_opt" in fault.identity
+
+
+def test_classify_wraps_and_passes_through():
+    error = ValueError("bad value")
+    fault = classify(error, identity="replay 3")
+    assert isinstance(fault, SpecError)
+    assert fault.identity == "replay 3"
+    assert fault.__cause__ is error
+
+    generic = classify(RuntimeError("boom"), identity="replay 4")
+    assert isinstance(generic, ReplayFault)
+
+    analysis = classify(RuntimeError("boom"), stage="analysis")
+    assert isinstance(analysis, AnalysisFault)
+
+    # Idempotent: an ExecutionFault passes through, gaining identity
+    # only when it has none.
+    original = ReplayFault("x", identity="kept")
+    assert classify(original, identity="ignored") is original
+    assert original.identity == "kept"
+    bare = ReplayFault("x")
+    assert classify(bare, identity="filled").identity == "filled"
+
+
+def test_failed_summary_round_trip():
+    failed = FailedSummary.from_exception(
+        RuntimeError("boom"), identity="replay 5"
+    )
+    assert failed.identity == "replay 5"
+    assert failed.error_type == "ReplayFault"
+    record = failed.as_dict()
+    assert record["failed"] is True
+    assert record["message"] == "boom"
+    assert "replay 5" in failed.describe()
+
+
+def test_check_on_error():
+    assert check_on_error("raise") == "raise"
+    assert check_on_error("quarantine") == "quarantine"
+    with pytest.raises(ValueError, match="on_error"):
+        check_on_error("ignore")
+
+
+# -- non-finite values stop at the spec boundary ---------------------------------------
+
+
+@pytest.mark.parametrize("value", [math.nan, math.inf, -math.inf])
+def test_replay_spec_rejects_non_finite_off_power(value):
+    from repro.dvfs import LoadTrace
+    from repro.kernels import ReplaySpec
+    from repro.workloads.cloudsuite import WEB_SEARCH
+
+    trace = LoadTrace.bursty(steps=4, seed=1)
+    with pytest.raises(SpecError, match="replay spec: off_power_w"):
+        ReplaySpec(
+            workload=WEB_SEARCH,
+            trace=trace,
+            fleet_size=2,
+            routing="round_robin",
+            off_power_w=value,
+        )
+
+
+@pytest.mark.parametrize("value", [math.nan, math.inf, -math.inf])
+def test_load_trace_rejects_non_finite_step_seconds(value):
+    from repro.dvfs import LoadTrace
+
+    with pytest.raises(ValueError, match="step duration"):
+        LoadTrace(name="bad", step_seconds=value, utilization=(0.5,))
+
+
+@pytest.mark.parametrize("value", [math.nan, math.inf, -math.inf])
+def test_load_trace_rejects_non_finite_utilization(value):
+    from repro.dvfs import LoadTrace
+
+    with pytest.raises(ValueError, match="utilisation at step 1"):
+        LoadTrace(name="bad", step_seconds=60.0, utilization=(0.5, value))
+
+
+# -- guard -----------------------------------------------------------------------------
+
+
+def test_deadline_is_a_cooperative_step_budget():
+    deadline = Deadline(3, identity="rung 0")
+    deadline.consume(2)
+    assert deadline.remaining == 1
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        deadline.consume(2)
+    assert excinfo.value.identity == "rung 0"
+    with pytest.raises(ValueError, match=">= 1"):
+        Deadline(0)
+    with pytest.raises(ValueError, match="negative"):
+        Deadline(5).consume(-1)
+
+
+def test_current_deadline_is_thread_local_and_nested():
+    assert current_deadline() is None
+    seen = {}
+
+    def inner():
+        seen["inner"] = current_deadline()
+        return "ok"
+
+    def outer():
+        seen["outer"] = current_deadline()
+        return run_guarded(inner, deadline_steps=5)
+
+    assert run_guarded(outer, deadline_steps=9) == "ok"
+    assert seen["outer"].limit == 9
+    assert seen["inner"].limit == 5
+    assert current_deadline() is None
+
+    # Another thread never sees this thread's deadline.
+    other = {}
+
+    def probe():
+        other["deadline"] = current_deadline()
+
+    def with_deadline():
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+
+    run_guarded(with_deadline, deadline_steps=4)
+    assert other["deadline"] is None
+
+
+def test_backoff_is_deterministic_and_exponential():
+    first = [backoff_steps(a, seed=11, base=4) for a in range(4)]
+    again = [backoff_steps(a, seed=11, base=4) for a in range(4)]
+    assert first == again
+    # base * 2**attempt <= value < base * 2**attempt + base
+    for attempt, value in enumerate(first):
+        assert 4 * 2**attempt <= value < 4 * 2**attempt + 4
+    assert [backoff_steps(a, seed=12, base=4) for a in range(4)] != first
+    with pytest.raises(ValueError):
+        backoff_steps(-1)
+    with pytest.raises(ValueError):
+        backoff_steps(0, base=0)
+
+
+def test_run_guarded_retries_only_transient_faults():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise InjectedFault("transient")
+        return "done"
+
+    assert run_guarded(flaky, retries=2) == "done"
+    assert len(calls) == 3
+
+    def hard_fail():
+        raise ReplayFault("permanent")
+
+    with pytest.raises(ReplayFault):
+        run_guarded(hard_fail, retries=5)
+
+    def always():
+        raise InjectedFault("never passes")
+
+    with pytest.raises(InjectedFault):
+        run_guarded(always, retries=2)
+    with pytest.raises(ValueError, match="retries"):
+        run_guarded(lambda: None, retries=-1)
+
+
+def test_run_guarded_passes_arguments_through():
+    assert run_guarded(lambda a, b=0: a + b, 2, b=3) == 5
+
+
+# -- chaos -----------------------------------------------------------------------------
+
+
+def test_fault_plan_validation_and_parse():
+    plan = FaultPlan.parse("batch.replay:3:raise")
+    assert plan == FaultPlan(site="batch.replay", at_call=3, action="raise")
+    assert plan.describe() == "batch.replay:3:raise"
+    with pytest.raises(ValueError, match="SITE:N:ACTION"):
+        FaultPlan.parse("just-a-site")
+    with pytest.raises(ValueError, match="integer"):
+        FaultPlan.parse("site:x:raise")
+    with pytest.raises(ValueError, match="action"):
+        FaultPlan.parse("site:1:explode")
+    with pytest.raises(ValueError, match="at_call"):
+        FaultPlan(site="s", at_call=0)
+    with pytest.raises(ValueError, match="site"):
+        FaultPlan(site="", at_call=1)
+    with pytest.raises(ValueError, match="delay_steps"):
+        FaultPlan(site="s", at_call=1, action="delay", delay_steps=0)
+    with pytest.raises(ValueError, match="sites"):
+        FaultPlan.seeded(0, sites=())
+    with pytest.raises(ValueError, match="max_call"):
+        FaultPlan.seeded(0, max_call=0)
+
+
+def test_seeded_plans_are_pure_functions_of_the_seed():
+    plans = [FaultPlan.seeded(seed) for seed in range(24)]
+    assert plans == [FaultPlan.seeded(seed) for seed in range(24)]
+    assert all(plan.site in chaos.SITES for plan in plans)
+    assert all(1 <= plan.at_call <= 16 for plan in plans)
+    # The seed sweep actually covers more than one site.
+    assert len({plan.site for plan in plans}) > 1
+
+
+def test_nothing_fires_without_an_active_plan():
+    fault_point("batch.replay")
+    assert corrupt("tuner.objective", 1.25) == 1.25
+
+
+def test_inject_scopes_and_restores_the_plan():
+    plan = FaultPlan(site="site.a", at_call=2, action="raise")
+    with inject(plan):
+        assert chaos.active_plan() == plan
+        fault_point("site.a")  # call 1: no fire
+        fault_point("site.other")
+        with pytest.raises(InjectedFault) as excinfo:
+            fault_point("site.a", identity="item 2")  # call 2: fires
+        assert excinfo.value.identity == "item 2"
+        # The plan fires exactly once.
+        fault_point("site.a")
+        assert chaos.call_counts()["site.a"] == 3
+    assert chaos.active_plan() is None
+
+
+def test_corrupt_replaces_the_value_with_nan():
+    plan = FaultPlan(site="tuner.objective", at_call=2, action="nan")
+    with inject(plan):
+        assert corrupt("tuner.objective", 7.0) == 7.0
+        assert math.isnan(corrupt("tuner.objective", 7.0))
+        assert corrupt("tuner.objective", 7.0) == 7.0
+
+
+def test_corrupt_with_raise_and_delay_actions():
+    raising = FaultPlan(site="tuner.objective", at_call=1, action="raise")
+    with inject(raising):
+        with pytest.raises(InjectedFault):
+            corrupt("tuner.objective", 7.0, identity="config x")
+
+    delaying = FaultPlan(
+        site="tuner.objective", at_call=1, action="delay", delay_steps=10
+    )
+
+    def body():
+        return corrupt("tuner.objective", 7.0)
+
+    with inject(delaying):
+        with pytest.raises(DeadlineExceeded):
+            run_guarded(body, deadline_steps=4)
+    # Without a deadline the delayed value passes through unchanged.
+    with inject(delaying):
+        assert body() == 7.0
+
+
+def test_delay_fault_consumes_the_active_deadline():
+    plan = FaultPlan(site="site.slow", at_call=1, action="delay", delay_steps=10)
+
+    def body():
+        fault_point("site.slow")
+        return "finished"
+
+    with inject(plan):
+        with pytest.raises(DeadlineExceeded):
+            run_guarded(body, deadline_steps=4)
+    # Without a deadline the delay is tolerated.
+    with inject(plan):
+        assert body() == "finished"

@@ -1,0 +1,175 @@
+"""Checkpointed tuner runs resume bit for bit.
+
+The resumability contract, pinned with exact ``as_dict()`` equality
+(every float bit-identical): a :meth:`PolicyTuner.tune` run with
+``checkpoint_dir=`` produces the same :class:`OptResult` as an
+uncheckpointed run, whether it resumes mid-optimisation after a crash,
+rebuilds a corrupt or truncated rung checkpoint, or replays entirely
+from cached rungs.  Fingerprints keep one directory from leaking
+results across different run configurations.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.dvfs import LoadTrace
+from repro.opt import GridSearch, ParamSpace, PolicyTuner, SuccessiveHalving
+from repro.resilience import FaultPlan, InjectedFault, inject
+from repro.workloads.cloudsuite import WEB_SEARCH
+
+SPACE = ParamSpace(
+    fleet_sizes=(2, 3),
+    governors=("qos_tracker", "ondemand"),
+    routings=("round_robin",),
+    fill_fractions=(0.75,),
+    bands=(None,),
+    wake_steps=(1,),
+)
+
+HALVING = SuccessiveHalving(keep_fraction=0.5, prefix_steps=(3, 6))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return LoadTrace.bursty(steps=12, seed=5)
+
+
+@pytest.fixture(scope="module")
+def halving_baseline(default_context, trace):
+    tuner = PolicyTuner(default_context, WEB_SEARCH, trace)
+    return tuner.tune(SPACE, HALVING).as_dict()
+
+
+def make_tuner(default_context, trace, **kwargs):
+    return PolicyTuner(default_context, WEB_SEARCH, trace, **kwargs)
+
+
+def test_checkpointed_run_matches_uncheckpointed(
+    default_context, trace, halving_baseline, tmp_path
+):
+    tuner = make_tuner(default_context, trace)
+    with obs.capture() as cap:
+        result = tuner.tune(SPACE, HALVING, checkpoint_dir=tmp_path)
+    assert result.as_dict() == halving_baseline
+    rungs = sorted(path.name for path in tmp_path.glob("rung_*.json"))
+    assert rungs == ["rung_000.json", "rung_001.json", "rung_002.json"]
+    assert cap.counter_deltas()["resilience.checkpoint_saves"] == 3
+
+
+def test_crash_between_rungs_then_resume_is_bit_identical(
+    default_context, trace, halving_baseline, tmp_path
+):
+    """Kill the run after rung 0 lands, resume, compare bit for bit."""
+    plan = FaultPlan(site="tuner.rung", at_call=2, action="raise")
+    tuner = make_tuner(default_context, trace)
+    with inject(plan):
+        with pytest.raises(InjectedFault):
+            tuner.tune(SPACE, HALVING, checkpoint_dir=tmp_path)
+    assert [p.name for p in sorted(tmp_path.glob("*.json"))] == [
+        "rung_000.json"
+    ]
+
+    resumed = make_tuner(default_context, trace)
+    with obs.capture() as cap:
+        result = resumed.tune(SPACE, HALVING, checkpoint_dir=tmp_path)
+    deltas = cap.counter_deltas()
+    assert deltas["resilience.rungs_resumed"] == 1
+    assert deltas["resilience.checkpoint_hits"] == 1
+    assert result.as_dict() == halving_baseline
+
+
+def test_full_resume_replays_every_rung_from_cache(
+    default_context, trace, halving_baseline, tmp_path
+):
+    make_tuner(default_context, trace).tune(
+        SPACE, HALVING, checkpoint_dir=tmp_path
+    )
+    with obs.capture() as cap:
+        result = make_tuner(default_context, trace).tune(
+            SPACE, HALVING, checkpoint_dir=tmp_path
+        )
+    deltas = cap.counter_deltas()
+    assert deltas["resilience.rungs_resumed"] == 3
+    # Fully cached: no batched replay work happened at all.
+    assert "batch.groups" not in deltas
+    assert result.as_dict() == halving_baseline
+
+
+@pytest.mark.parametrize(
+    "damage",
+    [
+        pytest.param(lambda text: text[: len(text) // 2], id="truncated"),
+        pytest.param(
+            lambda text: text.replace('"trials"', '"trails"'), id="bit-rot"
+        ),
+        pytest.param(lambda text: "", id="empty"),
+    ],
+)
+def test_damaged_checkpoint_is_rebuilt_bit_identically(
+    damage, default_context, trace, halving_baseline, tmp_path
+):
+    make_tuner(default_context, trace).tune(
+        SPACE, HALVING, checkpoint_dir=tmp_path
+    )
+    victim = tmp_path / "rung_001.json"
+    victim.write_text(damage(victim.read_text()))
+    with obs.capture() as cap:
+        result = make_tuner(default_context, trace).tune(
+            SPACE, HALVING, checkpoint_dir=tmp_path
+        )
+    deltas = cap.counter_deltas()
+    assert deltas["resilience.checkpoint_rejected"] == 1
+    assert deltas["resilience.rungs_resumed"] == 2  # rungs 0 and 2 cached
+    assert result.as_dict() == halving_baseline
+    # The damaged file was rebuilt into a valid checkpoint on disk.
+    envelope = json.loads(victim.read_text())
+    assert envelope["format"] == "repro.checkpoint.v1"
+
+
+def test_stale_fingerprint_never_resumes(default_context, trace, tmp_path):
+    make_tuner(default_context, trace).tune(
+        SPACE, HALVING, checkpoint_dir=tmp_path
+    )
+    other_trace = LoadTrace.bursty(steps=12, seed=6)
+    baseline = make_tuner(default_context, other_trace).tune(SPACE, HALVING)
+    with obs.capture() as cap:
+        result = make_tuner(default_context, other_trace).tune(
+            SPACE, HALVING, checkpoint_dir=tmp_path
+        )
+    deltas = cap.counter_deltas()
+    assert deltas.get("resilience.rungs_resumed", 0) == 0
+    assert result.as_dict() == baseline.as_dict()
+
+
+def test_grid_checkpoint_round_trip(
+    default_context, trace, tmp_path
+):
+    baseline = make_tuner(default_context, trace).tune(SPACE, GridSearch())
+    make_tuner(default_context, trace).tune(
+        SPACE, GridSearch(), checkpoint_dir=tmp_path
+    )
+    resumed = make_tuner(default_context, trace).tune(
+        SPACE, GridSearch(), checkpoint_dir=tmp_path
+    )
+    assert resumed.as_dict() == baseline.as_dict()
+
+
+def test_quarantine_state_survives_resume(default_context, trace, tmp_path):
+    """A rung whose quarantine happened pre-crash is restored from disk."""
+    corrupt_plan = FaultPlan(site="tuner.objective", at_call=1, action="nan")
+    quarantine_tuner = make_tuner(
+        default_context, trace, on_error="quarantine"
+    )
+    with inject(corrupt_plan):
+        baseline = quarantine_tuner.tune(
+            SPACE, HALVING, checkpoint_dir=tmp_path
+        )
+    assert len(baseline.quarantined) == 1
+
+    resumed = make_tuner(default_context, trace, on_error="quarantine").tune(
+        SPACE, HALVING, checkpoint_dir=tmp_path
+    )
+    assert resumed.as_dict() == baseline.as_dict()
+    assert resumed.quarantined == baseline.quarantined
